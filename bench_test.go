@@ -1,0 +1,481 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md), plus the design
+// ablations of DESIGN.md §6 and the simulator itself.
+//
+// Each benchmark regenerates its artefact against a shared simulated corpus
+// (scale 0.05 so `go test -bench=. ./...` stays tractable); use cmd/hfrepro
+// at scale 1.0 for a paper-sized run.
+package turnup
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"turnup/internal/analysis"
+	"turnup/internal/forum"
+	"turnup/internal/market"
+	"turnup/internal/rng"
+	"turnup/internal/stats"
+	"turnup/internal/textmine"
+)
+
+var (
+	benchOnce sync.Once
+	benchData *Dataset
+	benchLTM  *analysis.LTMResult
+)
+
+func benchCorpus(b *testing.B) *Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		d, _, err := market.Generate(market.Config{Seed: 99, Scale: 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchData = d
+	})
+	return benchData
+}
+
+func benchLTMFit(b *testing.B) (*Dataset, *analysis.LTMResult) {
+	b.Helper()
+	d := benchCorpus(b)
+	if benchLTM == nil {
+		ltm, err := analysis.LatentClasses(d, analysis.LTMOptions{K: 8, Restarts: 1}, rng.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchLTM = ltm
+	}
+	return d, benchLTM
+}
+
+// BenchmarkGenerate measures the simulator (the dataset substitution).
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := market.Generate(market.Config{Seed: uint64(i) + 1, Scale: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Tables ----
+
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.Taxonomy(d)
+		if r.Total == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+}
+
+func BenchmarkTable2Visibility(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.Visibility(d)
+		if len(r.Rows) == 0 {
+			b.Fatal("empty visibility")
+		}
+	}
+}
+
+func BenchmarkTable3Activities(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.Activities(d)
+		if len(r.Rows) == 0 {
+			b.Fatal("no activities")
+		}
+	}
+}
+
+func BenchmarkTable4Payments(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.PaymentMethods(d)
+		if len(r.Rows) == 0 {
+			b.Fatal("no methods")
+		}
+	}
+}
+
+func BenchmarkTable5Values(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.Values(d)
+		if r.TotalUSD <= 0 {
+			b.Fatal("no value")
+		}
+	}
+}
+
+func BenchmarkTable6LatentClasses(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.LatentClasses(d,
+			analysis.LTMOptions{K: 8, Restarts: 1}, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7ColdStartClusters(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.ColdStart(d, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8Flows(b *testing.B) {
+	d, ltm := benchLTMFit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := analysis.Flows(d, ltm)
+		if len(f.Flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+func BenchmarkTable9ZIPAll(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.ZIPAllUsers(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable10ZIPSub(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.ZIPSubgroups(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures ----
+
+func BenchmarkFigure1MonthlyGrowth(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := analysis.Growth(d)
+		if g.Created[9] == 0 {
+			b.Fatal("empty growth")
+		}
+	}
+}
+
+func BenchmarkFigure2VisibilityTrend(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.PublicTrend(d)
+	}
+}
+
+func BenchmarkFigure3TypeShares(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.TypeShareTrend(d)
+	}
+}
+
+func BenchmarkFigure4CompletionTime(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.CompletionTimeTrend(d)
+	}
+}
+
+func BenchmarkFigure5Concentration(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Concentrate(d)
+	}
+}
+
+func BenchmarkFigure6KeyShare(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.KeyShares(d)
+	}
+}
+
+func BenchmarkFigure7DegreeDist(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.DegreeDist(d.Contracts)
+		if r.Nodes == 0 {
+			b.Fatal("empty network")
+		}
+	}
+}
+
+func BenchmarkFigure8DegreeGrowth(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.DegreeGrowthTrend(d, false)
+	}
+}
+
+func BenchmarkFigure9ProductTrend(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ProductTrends(d)
+	}
+}
+
+func BenchmarkFigure10PaymentTrend(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.PaymentTrends(d)
+	}
+}
+
+func BenchmarkFigure11ValueTrend(b *testing.B) {
+	d := benchCorpus(b)
+	report := analysis.Values(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ValueTrends(d, report)
+	}
+}
+
+// BenchmarkFigure12ClassMade and BenchmarkFigure13ClassAccepted measure
+// extracting the per-class activity series from a fitted LTM.
+func BenchmarkFigure12ClassMade(b *testing.B) {
+	_, ltm := benchLTMFit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for c := range ltm.MadeSeries {
+			for _, e := range []int{0, 1, 2} {
+				_ = e
+				total += ltm.ClassActivityTotal(c, forum.Sale, 1, true)
+			}
+		}
+		if total == 0 {
+			b.Fatal("empty made series")
+		}
+	}
+}
+
+func BenchmarkFigure13ClassAccepted(b *testing.B) {
+	_, ltm := benchLTMFit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for c := range ltm.AcceptedSeries {
+			total += ltm.ClassActivityTotal(c, forum.Sale, 1, false)
+		}
+		if total == 0 {
+			b.Fatal("empty accepted series")
+		}
+	}
+}
+
+// BenchmarkFigure14StateMachine drives a contract through its full legal
+// lifecycle (the Figure 14 process).
+func BenchmarkFigure14StateMachine(b *testing.B) {
+	t0 := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		c, err := forum.NewContract(forum.ContractID(i+1), forum.Exchange, 1, 2, t0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Accept(t0.Add(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.MarkComplete(forum.MakerParty, t0.Add(2*time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.MarkComplete(forum.TakerParty, t0.Add(3*time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Rate(forum.MakerParty, forum.RatingPositive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHighValueAudit isolates the §4.5 ledger verification.
+func BenchmarkHighValueAudit(b *testing.B) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := analysis.Values(d)
+		if r.Audit.HighValue == 0 {
+			b.Skip("no high-value contracts at bench scale")
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ----
+
+// BenchmarkAblationZIPSolverEM vs BenchmarkAblationZIPSolverGradient:
+// the EM solver against direct gradient ascent on the same simulated data.
+func ablationZIPData(b *testing.B) (*stats.Matrix, []float64, *stats.Matrix) {
+	b.Helper()
+	src := rng.New(77)
+	n := 2000
+	countX := stats.NewMatrix(n, 2)
+	zeroX := stats.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		countX.Set(i, 0, 1)
+		zeroX.Set(i, 0, 1)
+		x := src.Norm()
+		countX.Set(i, 1, x)
+		zeroX.Set(i, 1, src.Norm())
+		if src.Bool(0.35) {
+			y[i] = 0
+		} else {
+			y[i] = float64(src.Poisson(3 * (1 + 0.3*x*x)))
+		}
+	}
+	return countX, y, zeroX
+}
+
+func BenchmarkAblationZIPSolverEM(b *testing.B) {
+	countX, y, zeroX := ablationZIPData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.ZIPRegression(countX, y, zeroX,
+			[]string{"(Intercept)", "x"}, []string{"(Intercept)", "z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationZIPSolverGradient(b *testing.B) {
+	countX, y, zeroX := ablationZIPData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.ZIPRegressionGradient(countX, y, zeroX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// k-means++ vs uniform seeding on the cold-start-like feature space.
+func ablationKMeansData(b *testing.B) [][]float64 {
+	b.Helper()
+	src := rng.New(78)
+	data := make([][]float64, 1500)
+	for i := range data {
+		row := make([]float64, 7)
+		scale := 1.0
+		if src.Bool(0.03) {
+			scale = 30 // outlier users
+		}
+		for j := range row {
+			row[j] = scale * src.Exp(1)
+		}
+		data[i] = row
+	}
+	return data
+}
+
+func BenchmarkAblationKMeansPlusPlus(b *testing.B) {
+	data := ablationKMeansData(b)
+	opts := stats.NewKMeansOptions()
+	opts.Restarts = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KMeans(data, 8, opts, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKMeansRandomSeed(b *testing.B) {
+	data := ablationKMeansData(b)
+	opts := stats.NewKMeansOptions()
+	opts.Restarts = 2
+	opts.PlusPlus = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KMeans(data, 8, opts, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LCA class-count selection sweep (the paper's "12-class model is most
+// parsimonious" step, at bench scale).
+func BenchmarkAblationLCASelection(b *testing.B) {
+	src := rng.New(79)
+	data := make([][]float64, 1200)
+	rates := [][]float64{{0.5, 4}, {6, 0.3}, {2, 2}}
+	for i := range data {
+		c := src.Intn(3)
+		data[i] = []float64{float64(src.Poisson(rates[c][0])), float64(src.Poisson(rates[c][1]))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, _, err := stats.SelectLCA(data, 1, 5, 2, rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best.K < 2 {
+			b.Fatalf("selected k=%d", best.K)
+		}
+	}
+}
+
+// Regex bucketiser vs the exact-token baseline classifier.
+func ablationTexts(b *testing.B) []string {
+	b.Helper()
+	d := benchCorpus(b)
+	var texts []string
+	for _, c := range d.CompletedPublic() {
+		if c.MakerObligation != "" {
+			texts = append(texts, c.MakerObligation)
+		}
+	}
+	if len(texts) == 0 {
+		b.Fatal("no obligation texts")
+	}
+	return texts
+}
+
+func BenchmarkAblationCategoriserRegex(b *testing.B) {
+	texts := ablationTexts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		textmine.Categorize(texts[i%len(texts)])
+	}
+}
+
+func BenchmarkAblationCategoriserTokens(b *testing.B) {
+	texts := ablationTexts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		textmine.TokenClassify(texts[i%len(texts)])
+	}
+}

@@ -1,0 +1,40 @@
+// Command hfgen generates a synthetic HACK FORUMS marketplace dataset and
+// writes it to a directory as CSV (contracts.csv, users.csv).
+//
+// Usage:
+//
+//	hfgen -seed 1 -scale 1.0 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"turnup"
+	"turnup/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfgen: ")
+	seed := flag.Uint64("seed", 1, "random seed (same seed → identical corpus)")
+	scale := flag.Float64("scale", 1.0, "volume scale; 1.0 reproduces the paper-sized corpus (~190k contracts)")
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+
+	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := turnup.Save(d, *out); err != nil {
+		log.Fatal(err)
+	}
+	s := d.Summary()
+	fmt.Fprintf(os.Stdout,
+		"wrote %s: %s contracts (%s completed, %s public, %s disputed), %s users, %s threads, %s posts, %s ledger txs\n",
+		*out, report.Count(s.Contracts), report.Count(s.Completed), report.Count(s.Public),
+		report.Count(s.Disputed), report.Count(s.Users), report.Count(s.Threads),
+		report.Count(s.Posts), report.Count(s.LedgerTxs))
+}

@@ -1,0 +1,63 @@
+// Command hfrepro runs the end-to-end reproduction: generate a corpus,
+// execute every analysis, and print the paper-vs-measured comparison that
+// EXPERIMENTS.md records. With -out it also writes the comparison as
+// markdown and the full rendered tables as text.
+//
+// Usage:
+//
+//	hfrepro -seed 1 -scale 1.0 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"turnup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfrepro: ")
+	seed := flag.Uint64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "volume scale (1.0 = paper-sized corpus)")
+	out := flag.String("out", "", "optional output directory for comparison.md and tables.txt")
+	k := flag.Int("k", 12, "latent class count")
+	flag.Parse()
+
+	start := time.Now()
+	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Summary()
+	fmt.Printf("generated %d contracts / %d users / %d posts in %v\n",
+		s.Contracts, s.Users, s.Posts, time.Since(start).Round(time.Millisecond))
+
+	t0 := time.Now()
+	res, err := turnup.Run(d, turnup.RunOptions{Seed: *seed, LatentClassK: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyses completed in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	rows := turnup.Compare(res)
+	md := turnup.RenderComparisons(rows)
+	fmt.Print(md)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "comparison.md"), []byte(md), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "tables.txt"), []byte(turnup.RenderAll(res)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s/comparison.md and %s/tables.txt\n", *out, *out)
+	}
+}

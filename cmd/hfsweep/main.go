@@ -1,0 +1,77 @@
+// Command hfsweep checks the robustness of the reproduction: it repeats
+// the generate→analyse→compare cycle across many seeds and reports, for
+// every shape claim, the fraction of seeds on which it held. Claims that
+// hold only on a lucky seed stand out immediately.
+//
+// Usage:
+//
+//	hfsweep -seeds 10 -scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"turnup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfsweep: ")
+	seeds := flag.Int("seeds", 10, "number of seeds to sweep")
+	scale := flag.Float64("scale", 0.05, "volume scale per run")
+	models := flag.Bool("models", true, "include the statistical models (slower)")
+	k := flag.Int("k", 8, "latent class count (smaller than 12 keeps sweeps fast)")
+	flag.Parse()
+
+	type tally struct {
+		id, metric string
+		held, runs int
+	}
+	byKey := map[string]*tally{}
+	var order []string
+
+	for seed := 1; seed <= *seeds; seed++ {
+		d, err := turnup.Generate(turnup.Config{Seed: uint64(seed), Scale: *scale})
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := turnup.Run(d, turnup.RunOptions{
+			Seed: uint64(seed), LatentClassK: *k, SkipModels: !*models,
+		})
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, row := range turnup.Compare(res) {
+			key := row.ID + " | " + row.Metric
+			t, ok := byKey[key]
+			if !ok {
+				t = &tally{id: row.ID, metric: row.Metric}
+				byKey[key] = t
+				order = append(order, key)
+			}
+			t.runs++
+			if row.Held {
+				t.held++
+			}
+		}
+		fmt.Printf("seed %d done\n", seed)
+	}
+
+	// Shakiest claims first.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byKey[order[i]], byKey[order[j]]
+		return float64(a.held)/float64(a.runs) < float64(b.held)/float64(b.runs)
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\nHELD\tID\tMETRIC\n")
+	for _, key := range order {
+		t := byKey[key]
+		fmt.Fprintf(w, "%d/%d\t%s\t%s\n", t.held, t.runs, t.id, t.metric)
+	}
+	w.Flush()
+}

@@ -1,0 +1,3 @@
+module turnup
+
+go 1.22

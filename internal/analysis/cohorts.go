@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/rng"
+	"turnup/internal/stats"
+)
+
+// CohortRetention is a join-month × months-since-join activity matrix:
+// Retention[c][k] is the fraction of users first active in study month c
+// who are party to at least one contract k months later. It quantifies
+// §2.2's observation that "users of underground markets are transient".
+type CohortRetention struct {
+	// Retention[c][k]; k = 0 is the joining month itself (always 1 for
+	// cohorts with any members).
+	Retention [dataset.NumMonths][dataset.NumMonths]float64
+	// Size[c] is the number of users in cohort c.
+	Size [dataset.NumMonths]int
+}
+
+// Cohorts computes the retention matrix from contract participation.
+func Cohorts(d *dataset.Dataset) CohortRetention {
+	firstMonth := map[forum.UserID]int{}
+	activeIn := map[forum.UserID]map[int]bool{}
+	for _, c := range d.Contracts {
+		m := int(dataset.MonthOf(c.Created))
+		for _, u := range []forum.UserID{c.Maker, c.Taker} {
+			if prev, ok := firstMonth[u]; !ok || m < prev {
+				firstMonth[u] = m
+			}
+			set, ok := activeIn[u]
+			if !ok {
+				set = map[int]bool{}
+				activeIn[u] = set
+			}
+			set[m] = true
+		}
+	}
+	var r CohortRetention
+	var activeCounts [dataset.NumMonths][dataset.NumMonths]int
+	for u, c := range firstMonth {
+		r.Size[c]++
+		for m := range activeIn[u] {
+			if k := m - c; k >= 0 && k < dataset.NumMonths {
+				activeCounts[c][k]++
+			}
+		}
+	}
+	for c := 0; c < dataset.NumMonths; c++ {
+		if r.Size[c] == 0 {
+			continue
+		}
+		for k := 0; k < dataset.NumMonths; k++ {
+			r.Retention[c][k] = float64(activeCounts[c][k]) / float64(r.Size[c])
+		}
+	}
+	return r
+}
+
+// MeanRetentionAt returns the cohort-size-weighted mean retention k months
+// after joining, over cohorts that can be observed that far.
+func (r CohortRetention) MeanRetentionAt(k int) float64 {
+	var num, den float64
+	for c := 0; c+k < dataset.NumMonths; c++ {
+		num += r.Retention[c][k] * float64(r.Size[c])
+		den += float64(r.Size[c])
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ConcentrationCI bootstrap-resamples users to put a confidence interval
+// on the Figure 5 headline number — the share of contracts involving the
+// top 5% of users.
+func ConcentrationCI(d *dataset.Dataset, level float64, resamples int, src *rng.Source) (stats.BootstrapCI, error) {
+	counts := map[forum.UserID]float64{}
+	for _, c := range d.Contracts {
+		counts[c.Maker]++
+		counts[c.Taker]++
+	}
+	weights := make([]float64, 0, len(counts))
+	for _, v := range counts {
+		weights = append(weights, v)
+	}
+	// ShareOfTop over participation weights approximates the union-share
+	// curve closely enough for an uncertainty band and is resample-stable.
+	return stats.Bootstrap(weights, func(xs []float64) float64 {
+		return stats.ShareOfTop(xs, 0.05)
+	}, resamples, level, src)
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/stats"
+)
+
+// CorpusStats reproduces the §3 prose description of the dataset: contract
+// counts, thread/post/member volumes, and the thread-linkage rates.
+type CorpusStats struct {
+	Contracts int
+	Threads   int
+	Posts     int
+	// PostingMembers counts users with at least one post.
+	PostingMembers int
+
+	// PublicWithThread is the share of public contracts associated with a
+	// thread (the paper: 68.4%); OverallWithThread is the same over all
+	// contracts (the paper: 8.2%).
+	PublicWithThread  float64
+	OverallWithThread float64
+}
+
+// Corpus computes the §3 statistics.
+func Corpus(d *dataset.Dataset) CorpusStats {
+	s := CorpusStats{
+		Contracts: len(d.Contracts),
+		Threads:   len(d.Threads),
+		Posts:     len(d.Posts),
+	}
+	posters := map[forum.UserID]bool{}
+	for _, p := range d.Posts {
+		posters[p.Author] = true
+	}
+	s.PostingMembers = len(posters)
+	var public, publicLinked, linked int
+	for _, c := range d.Contracts {
+		if c.Thread != 0 {
+			linked++
+		}
+		if c.Public {
+			public++
+			if c.Thread != 0 {
+				publicLinked++
+			}
+		}
+	}
+	if public > 0 {
+		s.PublicWithThread = float64(publicLinked) / float64(public)
+	}
+	if s.Contracts > 0 {
+		s.OverallWithThread = float64(linked) / float64(s.Contracts)
+	}
+	return s
+}
+
+// StimulusResult quantifies the paper's headline COVID-19 conclusion —
+// "a stimulus of the market, rather than a transformation" — as a
+// chi-square test of contract-type composition between late STABLE and
+// COVID-19. Cramér's V near 0 means the composition barely moved even if
+// the chi-square statistic is significant at these sample sizes.
+type StimulusResult struct {
+	ChiSquare float64
+	DF        int
+	PValue    float64
+	CramersV  float64
+	// VolumeRatio is COVID-19's monthly contract volume relative to late
+	// STABLE — the "stimulus" part.
+	VolumeRatio float64
+}
+
+// StimulusTest compares the type mix of the last three STABLE months
+// against the COVID-19 era.
+func StimulusTest(d *dataset.Dataset) StimulusResult {
+	var before, during [forum.NumContractTypes]float64
+	var nBefore, nDuring float64
+	for _, c := range d.Contracts {
+		m := int(dataset.MonthOf(c.Created))
+		switch {
+		case m >= 18 && m <= 20: // Dec 2019 – Feb 2020
+			before[c.Type]++
+			nBefore++
+		case dataset.EraOf(c.Created) == dataset.EraCovid:
+			during[c.Type]++
+			nDuring++
+		}
+	}
+	res := StimulusResult{}
+	if nBefore == 0 || nDuring == 0 {
+		return res
+	}
+	// Chi-square over the 2×T contingency table (types with any mass).
+	total := nBefore + nDuring
+	cols := 0
+	for t := 0; t < forum.NumContractTypes; t++ {
+		colTotal := before[t] + during[t]
+		if colTotal == 0 {
+			continue
+		}
+		cols++
+		for _, rc := range []struct{ obs, rowTotal float64 }{
+			{before[t], nBefore}, {during[t], nDuring},
+		} {
+			expected := rc.rowTotal * colTotal / total
+			if expected > 0 {
+				d := rc.obs - expected
+				res.ChiSquare += d * d / expected
+			}
+		}
+	}
+	res.DF = cols - 1
+	if res.DF > 0 {
+		res.PValue = stats.ChiSquarePValue(res.ChiSquare, res.DF)
+		res.CramersV = math.Sqrt(res.ChiSquare / (total * float64(minInt(1, res.DF))))
+	}
+	covidMonths := float64(len(dataset.EraCovid.Months()))
+	res.VolumeRatio = (nDuring / covidMonths) / (nBefore / 3)
+	return res
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

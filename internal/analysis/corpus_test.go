@@ -1,0 +1,45 @@
+package analysis
+
+import "testing"
+
+func TestCorpusStats(t *testing.T) {
+	d := corpus(t)
+	s := Corpus(d)
+	if s.Contracts != len(d.Contracts) {
+		t.Errorf("contracts = %d", s.Contracts)
+	}
+	if s.Threads == 0 || s.Posts == 0 || s.PostingMembers == 0 {
+		t.Fatalf("empty corpus stats: %+v", s)
+	}
+	// The paper: 68.4% of public contracts carry a thread, 8.2% overall.
+	if s.PublicWithThread < 0.55 || s.PublicWithThread > 0.8 {
+		t.Errorf("public thread linkage = %.3f, want ~0.68", s.PublicWithThread)
+	}
+	if s.OverallWithThread < 0.05 || s.OverallWithThread > 0.15 {
+		t.Errorf("overall thread linkage = %.3f, want ~0.08", s.OverallWithThread)
+	}
+	if s.PublicWithThread <= s.OverallWithThread {
+		t.Error("public linkage not above overall linkage")
+	}
+}
+
+func TestStimulusNotTransformation(t *testing.T) {
+	d := corpus(t)
+	r := StimulusTest(d)
+	if r.DF <= 0 {
+		t.Fatalf("degenerate test: %+v", r)
+	}
+	// Stimulus: COVID months carry more volume than late STABLE.
+	if r.VolumeRatio < 1.1 {
+		t.Errorf("volume ratio = %.2f, want > 1.1", r.VolumeRatio)
+	}
+	// Not a transformation: the association between era and contract type
+	// is weak (Cramér's V well under the conventional 0.1 "small" mark
+	// would be ideal; allow a little slack for the VOUCH COPY ramp).
+	if r.CramersV > 0.15 {
+		t.Errorf("Cramér's V = %.3f, composition shifted too much", r.CramersV)
+	}
+	if r.PValue < 0 || r.PValue > 1 {
+		t.Errorf("p-value = %v", r.PValue)
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+
+	"turnup/internal/dataset"
+	"turnup/internal/rng"
+)
+
+// SuiteOptions selects which analyses RunSuite performs.
+type SuiteOptions struct {
+	// LatentClassK is the number of behaviour classes (default 12, the
+	// paper's choice).
+	LatentClassK int
+	// SkipModels skips the statistical models (Tables 6-10), keeping only
+	// the descriptive analyses.
+	SkipModels bool
+}
+
+// Suite bundles every reproduced table and figure.
+type Suite struct {
+	Taxonomy        TaxonomyResult   // Table 1
+	Visibility      VisibilityResult // Table 2
+	Growth          MonthlyGrowth    // Figure 1
+	PublicTrend     VisibilityTrend  // Figure 2
+	TypeShares      TypeShares       // Figure 3
+	CompletionTimes CompletionTimes  // Figure 4
+	Concentration   Concentration    // Figure 5
+	KeyShares       KeyShare         // Figure 6
+	DegreesCreated  DegreeDistribution
+	DegreesDone     DegreeDistribution // Figure 7
+	DegreeGrowth    DegreeGrowth       // Figure 8
+	Products        ProductTrend       // Figure 9
+	PaymentTrend    PaymentTrend       // Figure 10
+	Activities      ActivitiesResult   // Table 3
+	Payments        PaymentsResult     // Table 4
+	Values          ValueReport        // Table 5 + §4.5
+	ValueTrend      ValueTrend         // Figure 11
+	ChangePoints    []ChangePoint      // era-boundary scan
+	Participation   ParticipationStats // §4.3 repeat-transaction text
+	Disputes        DisputeTrend       // §5.1 dispute dynamics
+	Centralisation  Centralisation     // monthly participation Gini
+	Cohorts         CohortRetention    // join-cohort retention
+	Corpus          CorpusStats        // §3 dataset description
+	Stimulus        StimulusResult     // COVID stimulus-vs-transformation test
+
+	// Model outputs (nil/zero when SkipModels).
+	LTM       *LTMResult       // Table 6, Figures 12-13
+	Flows     FlowsResult      // Table 8
+	ColdStart *ColdStartResult // Table 7 + §5.2
+	ZIPAll    []ZIPEraResult   // Table 9
+	ZIPSub    []ZIPEraResult   // Table 10
+}
+
+// RunSuite executes the full analysis pipeline over the dataset.
+func RunSuite(d *dataset.Dataset, opts SuiteOptions, src *rng.Source) (*Suite, error) {
+	if opts.LatentClassK <= 0 {
+		opts.LatentClassK = 12
+	}
+	res := &Suite{
+		Taxonomy:        Taxonomy(d),
+		Visibility:      Visibility(d),
+		Growth:          Growth(d),
+		PublicTrend:     PublicTrend(d),
+		TypeShares:      TypeShareTrend(d),
+		CompletionTimes: CompletionTimeTrend(d),
+		Concentration:   Concentrate(d),
+		KeyShares:       KeyShares(d),
+		DegreesCreated:  DegreeDist(d.Contracts),
+		DegreesDone:     DegreeDist(d.Completed()),
+		DegreeGrowth:    DegreeGrowthTrend(d, false),
+		Products:        ProductTrends(d),
+		PaymentTrend:    PaymentTrends(d),
+		Activities:      Activities(d),
+		Payments:        PaymentMethods(d),
+		ChangePoints:    ChangePoints(d, 3),
+		Participation:   Participation(d),
+		Disputes:        Disputes(d),
+		Centralisation:  CentralisationTrend(d),
+		Cohorts:         Cohorts(d),
+		Corpus:          Corpus(d),
+		Stimulus:        StimulusTest(d),
+	}
+	res.Values = Values(d)
+	res.ValueTrend = ValueTrends(d, res.Values)
+	if opts.SkipModels {
+		return res, nil
+	}
+	ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src.Fork(1))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: latent classes: %w", err)
+	}
+	res.LTM = ltm
+	res.Flows = Flows(d, ltm)
+	cs, err := ColdStart(d, src.Fork(2))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: cold start: %w", err)
+	}
+	res.ColdStart = cs
+	if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
+		return nil, fmt.Errorf("analysis: ZIP (all users): %w", err)
+	}
+	if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
+		return nil, fmt.Errorf("analysis: ZIP (subgroups): %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+// Package analysis implements every table and figure of the paper's
+// evaluation as a pure function from a dataset to a typed result. The
+// per-experiment index in DESIGN.md maps each function here to the paper
+// artefact it regenerates.
+package analysis
+
+import (
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// Bucket is one of Table 1's seven status columns.
+type Bucket int
+
+// Table 1 status buckets, in column order.
+const (
+	BucketComplete Bucket = iota
+	BucketActive
+	BucketDisputed
+	BucketIncomplete
+	BucketCancelled
+	BucketDenied
+	BucketExpired
+	NumBuckets = 7
+)
+
+// BucketNames are the column headers of Table 1.
+var BucketNames = [NumBuckets]string{
+	"Complete", "Active Deal", "Disputed", "Incomplete", "Cancelled", "Denied", "Expired",
+}
+
+// BucketOf collapses a lifecycle status into its Table 1 column (the paper
+// simplifies one-side-marked and fully completed into "Complete", and a
+// still-pending contract is counted with active deals).
+func BucketOf(s forum.Status) Bucket {
+	switch s {
+	case forum.StatusCompleted:
+		return BucketComplete
+	case forum.StatusActive, forum.StatusMarkedComplete, forum.StatusPending:
+		return BucketActive
+	case forum.StatusDisputed:
+		return BucketDisputed
+	case forum.StatusIncomplete:
+		return BucketIncomplete
+	case forum.StatusCancelled:
+		return BucketCancelled
+	case forum.StatusDenied:
+		return BucketDenied
+	default:
+		return BucketExpired
+	}
+}
+
+// TaxonomyResult is Table 1: contract counts per type × status bucket.
+type TaxonomyResult struct {
+	Counts [forum.NumContractTypes][NumBuckets]int
+	Total  int
+}
+
+// Taxonomy computes Table 1 over all contracts.
+func Taxonomy(d *dataset.Dataset) TaxonomyResult {
+	var r TaxonomyResult
+	for _, c := range d.Contracts {
+		r.Counts[c.Type][BucketOf(c.Status)]++
+		r.Total++
+	}
+	return r
+}
+
+// TypeTotal returns the number of contracts of type t.
+func (r TaxonomyResult) TypeTotal(t forum.ContractType) int {
+	sum := 0
+	for _, n := range r.Counts[t] {
+		sum += n
+	}
+	return sum
+}
+
+// BucketTotal returns the number of contracts in bucket b across types.
+func (r TaxonomyResult) BucketTotal(b Bucket) int {
+	sum := 0
+	for t := range r.Counts {
+		sum += r.Counts[t][b]
+	}
+	return sum
+}
+
+// Share returns the cell's share of all contracts.
+func (r TaxonomyResult) Share(t forum.ContractType, b Bucket) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Counts[t][b]) / float64(r.Total)
+}
+
+// CompletionRate returns the within-type completion rate.
+func (r TaxonomyResult) CompletionRate(t forum.ContractType) float64 {
+	total := r.TypeTotal(t)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Counts[t][BucketComplete]) / float64(total)
+}
+
+// VisibilityRow is one row of Table 2.
+type VisibilityRow struct {
+	Type      forum.ContractType
+	Completed bool // false = the "Created" rows
+	Private   int
+	Public    int
+}
+
+// Total returns the row total.
+func (v VisibilityRow) Total() int { return v.Private + v.Public }
+
+// PublicShare returns the public fraction of the row.
+func (v VisibilityRow) PublicShare() float64 {
+	if v.Total() == 0 {
+		return 0
+	}
+	return float64(v.Public) / float64(v.Total())
+}
+
+// VisibilityResult is Table 2: visibility by type, for created and
+// completed contracts.
+type VisibilityResult struct {
+	Rows []VisibilityRow
+}
+
+// Visibility computes Table 2.
+func Visibility(d *dataset.Dataset) VisibilityResult {
+	var created, completed [forum.NumContractTypes]VisibilityRow
+	for i, t := range forum.ContractTypes {
+		created[i].Type = t
+		completed[i].Type = t
+		completed[i].Completed = true
+	}
+	for _, c := range d.Contracts {
+		i := int(c.Type)
+		if c.Public {
+			created[i].Public++
+		} else {
+			created[i].Private++
+		}
+		if c.IsComplete() {
+			if c.Public {
+				completed[i].Public++
+			} else {
+				completed[i].Private++
+			}
+		}
+	}
+	r := VisibilityResult{}
+	r.Rows = append(r.Rows, created[:]...)
+	r.Rows = append(r.Rows, completed[:]...)
+	return r
+}
+
+// OverallPublicShare returns the public fraction across the created or
+// completed rows.
+func (r VisibilityResult) OverallPublicShare(completed bool) float64 {
+	var pub, total int
+	for _, row := range r.Rows {
+		if row.Completed != completed {
+			continue
+		}
+		pub += row.Public
+		total += row.Total()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(pub) / float64(total)
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/stats"
+)
+
+// ZIPUserRecord is one user's covariates and response for the era models
+// of Tables 9 and 10.
+type ZIPUserRecord struct {
+	User       forum.UserID
+	Completed  int // response: completed contracts the user was party to
+	Disputes   float64
+	Positive   float64
+	Negative   float64
+	MPosts     float64
+	Initiated  float64
+	Accepted   float64
+	FirstTime  bool    // first era in which the user touched the contract system
+	LengthDays float64 // days since first activity on the forum
+}
+
+// ZIPEraResult is one fitted era model with its sample description.
+type ZIPEraResult struct {
+	Era     dataset.Era
+	Subset  string // "all", "first-time", or "existing"
+	Model   *stats.ZIPResult
+	Records int
+}
+
+// ZIPAllUsers fits Table 9: the all-users model for each era. SET-UP has
+// no first-time covariate (everyone is a first-time user of the brand-new
+// system).
+func ZIPAllUsers(d *dataset.Dataset) ([]ZIPEraResult, error) {
+	var out []ZIPEraResult
+	for _, e := range dataset.Eras {
+		recs := zipRecords(d, e, "all")
+		model, err := fitZIP(recs, e != dataset.EraSetup)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: ZIP %v: %w", e, err)
+		}
+		out = append(out, ZIPEraResult{Era: e, Subset: "all", Model: model, Records: len(recs)})
+	}
+	return out, nil
+}
+
+// ZIPSubgroups fits Table 10: first-time and existing users separately for
+// STABLE and COVID-19.
+func ZIPSubgroups(d *dataset.Dataset) ([]ZIPEraResult, error) {
+	var out []ZIPEraResult
+	for _, e := range []dataset.Era{dataset.EraStable, dataset.EraCovid} {
+		for _, subset := range []string{"first-time", "existing"} {
+			recs := zipRecords(d, e, subset)
+			model, err := fitZIP(recs, false)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: ZIP %v/%s: %w", e, subset, err)
+			}
+			out = append(out, ZIPEraResult{Era: e, Subset: subset, Model: model, Records: len(recs)})
+		}
+	}
+	return out, nil
+}
+
+// zipRecords builds per-user records for an era. Users of the contract
+// system in the era are all makers and takers of contracts created then.
+func zipRecords(d *dataset.Dataset, e dataset.Era, subset string) []ZIPUserRecord {
+	firstEra := firstEraOfUse(d)
+	start, end := e.Span()
+	recs := map[forum.UserID]*ZIPUserRecord{}
+	get := func(u forum.UserID) *ZIPUserRecord {
+		r, ok := recs[u]
+		if !ok {
+			r = &ZIPUserRecord{User: u, FirstTime: firstEra[u] == e}
+			if user, okU := d.Users[u]; okU {
+				r.MPosts = float64(user.MarketplacePosts)
+				first := user.FirstPost
+				if first.IsZero() || user.Joined.Before(first) {
+					first = user.Joined
+				}
+				days := end.Sub(first).Hours() / 24
+				if days < 0 {
+					days = 0
+				}
+				r.LengthDays = days
+			}
+			recs[u] = r
+		}
+		return r
+	}
+	for _, c := range d.Contracts {
+		if c.Created.Before(start) || !c.Created.Before(end) {
+			continue
+		}
+		mr := get(c.Maker)
+		tr := get(c.Taker)
+		mr.Initiated++
+		switch c.Status {
+		case forum.StatusPending, forum.StatusDenied, forum.StatusExpired:
+		default:
+			tr.Accepted++
+		}
+		if c.IsComplete() {
+			mr.Completed++
+			tr.Completed++
+		}
+		if c.Status == forum.StatusDisputed {
+			mr.Disputes++
+			tr.Disputes++
+		}
+		switch c.TakerRating {
+		case forum.RatingPositive:
+			mr.Positive++
+		case forum.RatingNegative:
+			mr.Negative++
+		}
+		switch c.MakerRating {
+		case forum.RatingPositive:
+			tr.Positive++
+		case forum.RatingNegative:
+			tr.Negative++
+		}
+	}
+	var out []ZIPUserRecord
+	for _, r := range recs {
+		switch subset {
+		case "first-time":
+			if !r.FirstTime {
+				continue
+			}
+		case "existing":
+			if r.FirstTime {
+				continue
+			}
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// firstEraOfUse maps each user to the era of their first contract-system
+// activity.
+func firstEraOfUse(d *dataset.Dataset) map[forum.UserID]dataset.Era {
+	first := map[forum.UserID]time.Time{}
+	for _, c := range d.Contracts {
+		for _, u := range []forum.UserID{c.Maker, c.Taker} {
+			if t, ok := first[u]; !ok || c.Created.Before(t) {
+				first[u] = c.Created
+			}
+		}
+	}
+	out := map[forum.UserID]dataset.Era{}
+	for u, t := range first {
+		out[u] = dataset.EraOf(t)
+	}
+	return out
+}
+
+// fitZIP assembles the designs (square-root transforms on the skewed
+// covariates, per the paper) and fits the zero-inflated Poisson model.
+// The count model uses all covariates; the zero model uses disputes,
+// negative ratings, the first-time flag (when present), and length.
+func fitZIP(recs []ZIPUserRecord, withFirstTime bool) (*stats.ZIPResult, error) {
+	n := len(recs)
+	if n < 30 {
+		return nil, fmt.Errorf("only %d records", n)
+	}
+	countNames := []string{
+		"(Intercept)", "Disputes", "Positive Rating", "Negative Rating",
+		"Marketplace Post Count", "No. of Initiated Contracts", "No. of Accepted Contracts",
+	}
+	zeroNames := []string{"(Intercept)", "Disputes", "Negative Rating"}
+	if withFirstTime {
+		countNames = append(countNames, "First-Time Contract User")
+		zeroNames = append(zeroNames, "First-Time Contract User")
+	}
+	countNames = append(countNames, "Length")
+	zeroNames = append(zeroNames, "Length")
+
+	countX := stats.NewMatrix(n, len(countNames))
+	zeroX := stats.NewMatrix(n, len(zeroNames))
+	y := make([]float64, n)
+	for i, r := range recs {
+		y[i] = float64(r.Completed)
+		ft := 0.0
+		if r.FirstTime {
+			ft = 1
+		}
+		cols := []float64{1, math.Sqrt(r.Disputes), math.Sqrt(r.Positive), math.Sqrt(r.Negative),
+			math.Sqrt(r.MPosts), math.Sqrt(r.Initiated), math.Sqrt(r.Accepted)}
+		if withFirstTime {
+			cols = append(cols, ft)
+		}
+		cols = append(cols, r.LengthDays)
+		for j, v := range cols {
+			countX.Set(i, j, v)
+		}
+		zcols := []float64{1, math.Sqrt(r.Disputes), math.Sqrt(r.Negative)}
+		if withFirstTime {
+			zcols = append(zcols, ft)
+		}
+		zcols = append(zcols, r.LengthDays)
+		for j, v := range zcols {
+			zeroX.Set(i, j, v)
+		}
+	}
+	return stats.ZIPRegression(countX, y, zeroX, countNames, zeroNames)
+}

@@ -1,0 +1,308 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"turnup/internal/forum"
+)
+
+// The CSV schema version written into file headers.
+const timeLayout = time.RFC3339
+
+var contractHeader = []string{
+	"id", "type", "maker", "taker", "thread", "created", "decided",
+	"completed", "status", "public", "maker_obligation", "taker_obligation",
+	"maker_rating", "taker_rating", "btc_address", "tx_hash",
+}
+
+// WriteContractsCSV streams the contracts in CSV form.
+func WriteContractsCSV(w io.Writer, contracts []*forum.Contract) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(contractHeader); err != nil {
+		return err
+	}
+	for _, c := range contracts {
+		rec := []string{
+			strconv.Itoa(int(c.ID)),
+			c.Type.String(),
+			strconv.Itoa(int(c.Maker)),
+			strconv.Itoa(int(c.Taker)),
+			strconv.Itoa(int(c.Thread)),
+			formatTime(c.Created),
+			formatTime(c.Decided),
+			formatTime(c.Completed),
+			c.Status.String(),
+			strconv.FormatBool(c.Public),
+			c.MakerObligation,
+			c.TakerObligation,
+			strconv.Itoa(int(c.MakerRating)),
+			strconv.Itoa(int(c.TakerRating)),
+			c.BTCAddress,
+			c.TxHash,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadContractsCSV parses contracts written by WriteContractsCSV. The
+// lifecycle state is restored field-by-field (the state machine is not
+// replayed); contracts loaded in intermediate states cannot be transitioned
+// further, which analysis-only consumers never need.
+func ReadContractsCSV(r io.Reader) ([]*forum.Contract, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(contractHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading contract header: %w", err)
+	}
+	for i, h := range contractHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("dataset: contract column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []*forum.Contract
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: contract line %d: %w", line, err)
+		}
+		c, err := parseContract(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: contract line %d: %w", line, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseContract(rec []string) (*forum.Contract, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad id: %w", err)
+	}
+	typ, err := forum.ParseContractType(rec[1])
+	if err != nil {
+		return nil, err
+	}
+	maker, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad maker: %w", err)
+	}
+	taker, err := strconv.Atoi(rec[3])
+	if err != nil {
+		return nil, fmt.Errorf("bad taker: %w", err)
+	}
+	thread, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return nil, fmt.Errorf("bad thread: %w", err)
+	}
+	created, err := parseTime(rec[5])
+	if err != nil {
+		return nil, fmt.Errorf("bad created: %w", err)
+	}
+	decided, err := parseTime(rec[6])
+	if err != nil {
+		return nil, fmt.Errorf("bad decided: %w", err)
+	}
+	completed, err := parseTime(rec[7])
+	if err != nil {
+		return nil, fmt.Errorf("bad completed: %w", err)
+	}
+	status, err := forum.ParseStatus(rec[8])
+	if err != nil {
+		return nil, err
+	}
+	public, err := strconv.ParseBool(rec[9])
+	if err != nil {
+		return nil, fmt.Errorf("bad public flag: %w", err)
+	}
+	mr, err := strconv.Atoi(rec[12])
+	if err != nil {
+		return nil, fmt.Errorf("bad maker rating: %w", err)
+	}
+	tr, err := strconv.Atoi(rec[13])
+	if err != nil {
+		return nil, fmt.Errorf("bad taker rating: %w", err)
+	}
+	return &forum.Contract{
+		ID:              forum.ContractID(id),
+		Type:            typ,
+		Maker:           forum.UserID(maker),
+		Taker:           forum.UserID(taker),
+		Thread:          forum.ThreadID(thread),
+		Created:         created,
+		Decided:         decided,
+		Completed:       completed,
+		Status:          status,
+		Public:          public,
+		MakerObligation: rec[10],
+		TakerObligation: rec[11],
+		MakerRating:     forum.Rating(mr),
+		TakerRating:     forum.Rating(tr),
+		BTCAddress:      rec[14],
+		TxHash:          rec[15],
+	}, nil
+}
+
+var userHeader = []string{
+	"id", "joined", "first_post", "posts", "marketplace_posts", "reputation", "kind",
+}
+
+// WriteUsersCSV streams users in CSV form, ordered by ID.
+func WriteUsersCSV(w io.Writer, users map[forum.UserID]*forum.User) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(userHeader); err != nil {
+		return err
+	}
+	maxID := forum.UserID(0)
+	for id := range users {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := forum.UserID(1); id <= maxID; id++ {
+		u, ok := users[id]
+		if !ok {
+			continue
+		}
+		rec := []string{
+			strconv.Itoa(int(u.ID)),
+			formatTime(u.Joined),
+			formatTime(u.FirstPost),
+			strconv.Itoa(u.Posts),
+			strconv.Itoa(u.MarketplacePosts),
+			strconv.Itoa(u.Reputation),
+			strconv.Itoa(u.MarketKind),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadUsersCSV parses users written by WriteUsersCSV.
+func ReadUsersCSV(r io.Reader) (map[forum.UserID]*forum.User, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(userHeader)
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("dataset: reading user header: %w", err)
+	}
+	out := make(map[forum.UserID]*forum.User)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d id: %w", line, err)
+		}
+		joined, err := parseTime(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d joined: %w", line, err)
+		}
+		firstPost, err := parseTime(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d first_post: %w", line, err)
+		}
+		posts, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d posts: %w", line, err)
+		}
+		mposts, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d mposts: %w", line, err)
+		}
+		rep, err := strconv.Atoi(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d reputation: %w", line, err)
+		}
+		kind, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: user line %d kind: %w", line, err)
+		}
+		out[forum.UserID(id)] = &forum.User{
+			ID: forum.UserID(id), Joined: joined, FirstPost: firstPost,
+			Posts: posts, MarketplacePosts: mposts, Reputation: rep,
+			MarketKind: kind,
+		}
+	}
+	return out, nil
+}
+
+// SaveDir writes contracts.csv and users.csv into dir, creating it.
+// Threads, posts, and the ledger are regenerable from the seed and are not
+// persisted.
+func (d *Dataset) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "contracts.csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := WriteContractsCSV(cf, d.Contracts); err != nil {
+		return err
+	}
+	uf, err := os.Create(filepath.Join(dir, "users.csv"))
+	if err != nil {
+		return err
+	}
+	defer uf.Close()
+	return WriteUsersCSV(uf, d.Users)
+}
+
+// LoadDir reads a dataset saved with SaveDir.
+func LoadDir(dir string) (*Dataset, error) {
+	d := New()
+	cf, err := os.Open(filepath.Join(dir, "contracts.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	if d.Contracts, err = ReadContractsCSV(cf); err != nil {
+		return nil, err
+	}
+	uf, err := os.Open(filepath.Join(dir, "users.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer uf.Close()
+	if d.Users, err = ReadUsersCSV(uf); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func formatTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(timeLayout)
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(timeLayout, s)
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"turnup/internal/forum"
+)
+
+var threadHeader = []string{"id", "author", "created", "title"}
+
+// WriteThreadsCSV streams threads in CSV form, ordered by ID.
+func WriteThreadsCSV(w io.Writer, threads map[forum.ThreadID]*forum.Thread) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(threadHeader); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(threads))
+	for id := range threads {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		th := threads[forum.ThreadID(id)]
+		rec := []string{
+			strconv.Itoa(int(th.ID)),
+			strconv.Itoa(int(th.Author)),
+			formatTime(th.Created),
+			th.Title,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadThreadsCSV parses threads written by WriteThreadsCSV.
+func ReadThreadsCSV(r io.Reader) (map[forum.ThreadID]*forum.Thread, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(threadHeader)
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("dataset: reading thread header: %w", err)
+	}
+	out := make(map[forum.ThreadID]*forum.Thread)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: thread line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: thread line %d id: %w", line, err)
+		}
+		author, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: thread line %d author: %w", line, err)
+		}
+		created, err := parseTime(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: thread line %d created: %w", line, err)
+		}
+		out[forum.ThreadID(id)] = &forum.Thread{
+			ID: forum.ThreadID(id), Author: forum.UserID(author),
+			Created: created, Title: rec[3],
+		}
+	}
+	return out, nil
+}
+
+var postHeader = []string{"id", "thread", "author", "created", "marketplace"}
+
+// WritePostsCSV streams posts in CSV form.
+func WritePostsCSV(w io.Writer, posts []*forum.Post) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(postHeader); err != nil {
+		return err
+	}
+	for _, p := range posts {
+		rec := []string{
+			strconv.Itoa(p.ID),
+			strconv.Itoa(int(p.Thread)),
+			strconv.Itoa(int(p.Author)),
+			formatTime(p.Created),
+			strconv.FormatBool(p.Marketplace),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPostsCSV parses posts written by WritePostsCSV.
+func ReadPostsCSV(r io.Reader) ([]*forum.Post, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(postHeader)
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("dataset: reading post header: %w", err)
+	}
+	var out []*forum.Post
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d id: %w", line, err)
+		}
+		thread, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d thread: %w", line, err)
+		}
+		author, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d author: %w", line, err)
+		}
+		created, err := parseTime(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d created: %w", line, err)
+		}
+		mp, err := strconv.ParseBool(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: post line %d marketplace: %w", line, err)
+		}
+		out = append(out, &forum.Post{
+			ID: id, Thread: forum.ThreadID(thread), Author: forum.UserID(author),
+			Created: created, Marketplace: mp,
+		})
+	}
+	return out, nil
+}
+
+// SaveDirFull writes the complete corpus (contracts, users, threads,
+// posts) into dir. The ledger remains regenerable-only.
+func (d *Dataset) SaveDirFull(dir string) error {
+	if err := d.SaveDir(dir); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, "threads.csv"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := WriteThreadsCSV(tf, d.Threads); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "posts.csv"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	return WritePostsCSV(pf, d.Posts)
+}
+
+// LoadDirFull reads a corpus saved with SaveDirFull; threads.csv and
+// posts.csv are optional for compatibility with SaveDir output.
+func LoadDirFull(dir string) (*Dataset, error) {
+	d, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if tf, err := os.Open(filepath.Join(dir, "threads.csv")); err == nil {
+		defer tf.Close()
+		if d.Threads, err = ReadThreadsCSV(tf); err != nil {
+			return nil, err
+		}
+	}
+	if pf, err := os.Open(filepath.Join(dir, "posts.csv")); err == nil {
+		defer pf.Close()
+		if d.Posts, err = ReadPostsCSV(pf); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"turnup/internal/forum"
+)
+
+func TestThreadsCSVRoundTrip(t *testing.T) {
+	threads := map[forum.ThreadID]*forum.Thread{
+		1: {ID: 1, Author: 10, Created: SetupStart.Add(time.Hour), Title: "selling, \"quoted\" stuff"},
+		3: {ID: 3, Author: 11, Created: SetupStart.Add(2 * time.Hour), Title: "exchange thread"},
+	}
+	var buf bytes.Buffer
+	if err := WriteThreadsCSV(&buf, threads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadThreadsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip count %d", len(got))
+	}
+	if got[1].Title != threads[1].Title || !got[1].Created.Equal(threads[1].Created) {
+		t.Errorf("thread 1 = %+v", got[1])
+	}
+	if got[3].Author != 11 {
+		t.Errorf("thread 3 author = %v", got[3].Author)
+	}
+}
+
+func TestPostsCSVRoundTrip(t *testing.T) {
+	posts := []*forum.Post{
+		{ID: 1, Thread: 2, Author: 10, Created: SetupStart, Marketplace: true},
+		{ID: 2, Thread: 0, Author: 11, Created: SetupStart.Add(time.Hour)},
+	}
+	var buf bytes.Buffer
+	if err := WritePostsCSV(&buf, posts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPostsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip count %d", len(got))
+	}
+	if !got[0].Marketplace || got[0].Thread != 2 {
+		t.Errorf("post 0 = %+v", got[0])
+	}
+	if got[1].Marketplace || got[1].Thread != 0 {
+		t.Errorf("post 1 = %+v", got[1])
+	}
+}
+
+func TestSaveLoadDirFull(t *testing.T) {
+	d := seedDataset(t)
+	d.Threads[7] = &forum.Thread{ID: 7, Author: 1, Created: SetupStart, Title: "ad"}
+	d.Contracts[0].Thread = 7
+	d.Posts = append(d.Posts, &forum.Post{ID: 1, Thread: 7, Author: 1, Created: SetupStart, Marketplace: true})
+	dir := t.TempDir()
+	if err := d.SaveDirFull(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDirFull(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Threads) != 1 || len(got.Posts) != 1 {
+		t.Errorf("loaded %d threads, %d posts", len(got.Threads), len(got.Posts))
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("loaded full dataset invalid: %v", err)
+	}
+}
+
+func TestLoadDirFullWithoutExtras(t *testing.T) {
+	// SaveDir output (no threads/posts files) must still load.
+	d := seedDataset(t)
+	dir := t.TempDir()
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDirFull(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Contracts) != len(d.Contracts) {
+		t.Errorf("loaded %d contracts", len(got.Contracts))
+	}
+}

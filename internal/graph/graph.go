@@ -1,0 +1,207 @@
+// Package graph builds and measures the contractual social network of
+// §4.2: users are nodes, and a contract links its maker and taker. Raw
+// connections ignore direction; an inbound connection from n to m exists
+// when m accepts a contract made by n, and an outbound connection when n
+// makes a contract to m. Bidirectional contract types (EXCHANGE, TRADE)
+// count as both inbound and outbound for both parties.
+package graph
+
+import (
+	"math"
+
+	"turnup/internal/forum"
+)
+
+// Network is the contractual graph. Adjacency sets hold distinct
+// counterparties, so degrees are numbers of distinct users, as the paper
+// defines them.
+type Network struct {
+	raw map[forum.UserID]map[forum.UserID]bool
+	in  map[forum.UserID]map[forum.UserID]bool
+	out map[forum.UserID]map[forum.UserID]bool
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		raw: make(map[forum.UserID]map[forum.UserID]bool),
+		in:  make(map[forum.UserID]map[forum.UserID]bool),
+		out: make(map[forum.UserID]map[forum.UserID]bool),
+	}
+}
+
+// Build constructs the network over the given contracts. Only accepted
+// contracts create connections: a contract that was denied or expired never
+// linked two users. (Callers filter to created-and-accepted or completed
+// sets as the analysis requires.)
+func Build(contracts []*forum.Contract) *Network {
+	n := New()
+	for _, c := range contracts {
+		n.Add(c)
+	}
+	return n
+}
+
+// connected reports whether the contract's parties ever entered the deal.
+func connected(c *forum.Contract) bool {
+	switch c.Status {
+	case forum.StatusPending, forum.StatusDenied, forum.StatusExpired:
+		return false
+	}
+	return true
+}
+
+// Add incorporates one contract into the network.
+func (n *Network) Add(c *forum.Contract) {
+	if !connected(c) {
+		return
+	}
+	n.link(n.raw, c.Maker, c.Taker)
+	n.link(n.raw, c.Taker, c.Maker)
+	// Maker initiates: outbound maker→taker, inbound for taker from maker.
+	n.link(n.out, c.Maker, c.Taker)
+	n.link(n.in, c.Taker, c.Maker)
+	if c.Type.Bidirectional() {
+		// Goods flow both ways: both parties gain both connection kinds.
+		n.link(n.out, c.Taker, c.Maker)
+		n.link(n.in, c.Maker, c.Taker)
+	}
+}
+
+func (n *Network) link(adj map[forum.UserID]map[forum.UserID]bool, from, to forum.UserID) {
+	set, ok := adj[from]
+	if !ok {
+		set = make(map[forum.UserID]bool)
+		adj[from] = set
+	}
+	set[to] = true
+}
+
+// Nodes returns the number of users with at least one raw connection.
+func (n *Network) Nodes() int { return len(n.raw) }
+
+// DegreeKind selects which degree notion to read.
+type DegreeKind int
+
+// The three degree notions of §4.2.
+const (
+	Raw DegreeKind = iota
+	Inbound
+	Outbound
+)
+
+// String names the degree kind.
+func (k DegreeKind) String() string {
+	switch k {
+	case Raw:
+		return "raw"
+	case Inbound:
+		return "inbound"
+	case Outbound:
+		return "outbound"
+	default:
+		return "unknown"
+	}
+}
+
+func (n *Network) adj(k DegreeKind) map[forum.UserID]map[forum.UserID]bool {
+	switch k {
+	case Inbound:
+		return n.in
+	case Outbound:
+		return n.out
+	default:
+		return n.raw
+	}
+}
+
+// Degree returns user u's degree of the given kind.
+func (n *Network) Degree(u forum.UserID, k DegreeKind) int { return len(n.adj(k)[u]) }
+
+// Degrees returns the degree of every user that appears in the raw graph
+// (users with zero inbound or outbound degree report 0, matching the
+// paper's "zero point" in the outbound distribution).
+func (n *Network) Degrees(k DegreeKind) map[forum.UserID]int {
+	out := make(map[forum.UserID]int, len(n.raw))
+	for u := range n.raw {
+		out[u] = len(n.adj(k)[u])
+	}
+	return out
+}
+
+// DegreeStats summarises a degree distribution.
+type DegreeStats struct {
+	Kind  DegreeKind
+	Max   int
+	Mean  float64
+	Nodes int
+}
+
+// Stats computes max and mean degree of the given kind over raw-graph nodes.
+func (n *Network) Stats(k DegreeKind) DegreeStats {
+	s := DegreeStats{Kind: k, Nodes: len(n.raw)}
+	total := 0
+	for u := range n.raw {
+		d := len(n.adj(k)[u])
+		total += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	if s.Nodes > 0 {
+		s.Mean = float64(total) / float64(s.Nodes)
+	}
+	return s
+}
+
+// DegreeSlice returns all degrees of a kind as a slice (for distribution
+// fitting and histograms).
+func (n *Network) DegreeSlice(k DegreeKind) []int {
+	out := make([]int, 0, len(n.raw))
+	for u := range n.raw {
+		out = append(out, len(n.adj(k)[u]))
+	}
+	return out
+}
+
+// DegreeAssortativity returns the Pearson correlation between the raw
+// degrees at the two endpoints of every accepted contract: positive values
+// mean similar-degree users trade with each other (the paper's SET-UP
+// observation that power-users and one-shot users each "trade within their
+// own class types"), negative values mean hubs mostly serve the periphery
+// (the STABLE business-to-customer pattern).
+func DegreeAssortativity(n *Network, contracts []*forum.Contract) float64 {
+	var xs, ys []float64
+	for _, c := range contracts {
+		if !connected(c) {
+			continue
+		}
+		xs = append(xs, float64(n.Degree(c.Maker, Raw)))
+		ys = append(ys, float64(n.Degree(c.Taker, Raw)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	nf := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/nf, sy/nf
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"testing"
+	"time"
+
+	"turnup/internal/forum"
+)
+
+var g0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func accepted(t *testing.T, id int, typ forum.ContractType, maker, taker forum.UserID) *forum.Contract {
+	t.Helper()
+	c, err := forum.NewContract(forum.ContractID(id), typ, maker, taker, g0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accept(g0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pending(t *testing.T, id int, maker, taker forum.UserID) *forum.Contract {
+	t.Helper()
+	c, err := forum.NewContract(forum.ContractID(id), forum.Sale, maker, taker, g0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDirectedDegreesOneWay(t *testing.T) {
+	// User 1 makes SALEs to users 2 and 3.
+	n := Build([]*forum.Contract{
+		accepted(t, 1, forum.Sale, 1, 2),
+		accepted(t, 2, forum.Sale, 1, 3),
+	})
+	if d := n.Degree(1, Outbound); d != 2 {
+		t.Errorf("maker outbound = %d", d)
+	}
+	if d := n.Degree(1, Inbound); d != 0 {
+		t.Errorf("maker inbound = %d", d)
+	}
+	if d := n.Degree(2, Inbound); d != 1 {
+		t.Errorf("taker inbound = %d", d)
+	}
+	if d := n.Degree(2, Outbound); d != 0 {
+		t.Errorf("taker outbound = %d", d)
+	}
+	if d := n.Degree(1, Raw); d != 2 {
+		t.Errorf("maker raw = %d", d)
+	}
+}
+
+func TestBidirectionalCountsBothWays(t *testing.T) {
+	n := Build([]*forum.Contract{accepted(t, 1, forum.Exchange, 1, 2)})
+	for _, u := range []forum.UserID{1, 2} {
+		if d := n.Degree(u, Inbound); d != 1 {
+			t.Errorf("user %d inbound = %d", u, d)
+		}
+		if d := n.Degree(u, Outbound); d != 1 {
+			t.Errorf("user %d outbound = %d", u, d)
+		}
+	}
+}
+
+func TestRepeatContractsDoNotInflateDegree(t *testing.T) {
+	// Degrees count distinct counterparties, not contracts.
+	n := Build([]*forum.Contract{
+		accepted(t, 1, forum.Sale, 1, 2),
+		accepted(t, 2, forum.Sale, 1, 2),
+		accepted(t, 3, forum.Sale, 1, 2),
+	})
+	if d := n.Degree(1, Raw); d != 1 {
+		t.Errorf("raw degree = %d after repeat contracts", d)
+	}
+	if d := n.Degree(1, Outbound); d != 1 {
+		t.Errorf("outbound degree = %d after repeat contracts", d)
+	}
+}
+
+func TestUnacceptedContractsExcluded(t *testing.T) {
+	den := pending(t, 2, 3, 4)
+	_ = den.Deny(g0.Add(time.Hour))
+	exp := pending(t, 3, 5, 6)
+	_ = exp.Expire(g0.Add(80 * time.Hour))
+	n := Build([]*forum.Contract{pending(t, 1, 1, 2), den, exp})
+	if n.Nodes() != 0 {
+		t.Errorf("unaccepted contracts created %d nodes", n.Nodes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := Build([]*forum.Contract{
+		accepted(t, 1, forum.Sale, 1, 2),
+		accepted(t, 2, forum.Sale, 3, 2),
+		accepted(t, 3, forum.Sale, 4, 2),
+	})
+	s := n.Stats(Inbound)
+	if s.Max != 3 {
+		t.Errorf("max inbound = %d", s.Max)
+	}
+	if s.Nodes != 4 {
+		t.Errorf("nodes = %d", s.Nodes)
+	}
+	// Mean inbound: user 2 has 3, others 0 → 0.75.
+	if s.Mean != 0.75 {
+		t.Errorf("mean inbound = %v", s.Mean)
+	}
+	raw := n.Stats(Raw)
+	if raw.Max != 3 || raw.Mean != 1.5 {
+		t.Errorf("raw stats = %+v", raw)
+	}
+}
+
+func TestDegreesIncludeZeroOutbound(t *testing.T) {
+	n := Build([]*forum.Contract{accepted(t, 1, forum.Sale, 1, 2)})
+	degs := n.Degrees(Outbound)
+	if len(degs) != 2 {
+		t.Fatalf("degrees over %d nodes", len(degs))
+	}
+	if degs[2] != 0 {
+		t.Errorf("taker outbound = %d, want 0", degs[2])
+	}
+	slice := n.DegreeSlice(Outbound)
+	if len(slice) != 2 {
+		t.Errorf("DegreeSlice len = %d", len(slice))
+	}
+}
+
+func TestIncrementalAddMatchesBuild(t *testing.T) {
+	cs := []*forum.Contract{
+		accepted(t, 1, forum.Sale, 1, 2),
+		accepted(t, 2, forum.Exchange, 2, 3),
+		accepted(t, 3, forum.Trade, 3, 1),
+	}
+	built := Build(cs)
+	inc := New()
+	for _, c := range cs {
+		inc.Add(c)
+	}
+	for _, k := range []DegreeKind{Raw, Inbound, Outbound} {
+		for u := forum.UserID(1); u <= 3; u++ {
+			if built.Degree(u, k) != inc.Degree(u, k) {
+				t.Errorf("user %d %v: %d vs %d", u, k, built.Degree(u, k), inc.Degree(u, k))
+			}
+		}
+	}
+}
+
+func TestDegreeKindString(t *testing.T) {
+	if Raw.String() != "raw" || Inbound.String() != "inbound" || Outbound.String() != "outbound" {
+		t.Error("degree kind names wrong")
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// Disassortative star: one hub linked to many one-degree spokes.
+	var cs []*forum.Contract
+	for i := 2; i <= 12; i++ {
+		cs = append(cs, accepted(t, i, forum.Sale, forum.UserID(i), 1))
+	}
+	n := Build(cs)
+	if r := DegreeAssortativity(n, cs); r != 0 {
+		// All makers have degree 1 and the taker always has degree 11:
+		// zero variance on one side → correlation is defined as 0 here.
+		t.Errorf("star assortativity = %v, want 0 (degenerate variance)", r)
+	}
+	// Mixed graph: a hub trading with spokes in both directions plus
+	// disjoint peer pairs. Hubs meet low-degree users and low-degree users
+	// meet each other, so endpoint degrees anti-correlate.
+	var mixed []*forum.Contract
+	id := 100
+	for i := 0; i < 3; i++ { // hub (user 1) initiates to spokes
+		id++
+		mixed = append(mixed, accepted(t, id, forum.Sale, 1, forum.UserID(200+i)))
+	}
+	for i := 3; i < 6; i++ { // spokes initiate to the hub
+		id++
+		mixed = append(mixed, accepted(t, id, forum.Sale, forum.UserID(200+i), 1))
+	}
+	for i := 0; i < 6; i++ { // disjoint peer pairs
+		id++
+		mixed = append(mixed, accepted(t, id, forum.Sale, forum.UserID(300+2*i), forum.UserID(301+2*i)))
+	}
+	nm := Build(mixed)
+	if r := DegreeAssortativity(nm, mixed); r >= 0 {
+		t.Errorf("hub-plus-peers assortativity = %v, want negative", r)
+	}
+	// Empty input.
+	if r := DegreeAssortativity(New(), nil); r != 0 {
+		t.Errorf("empty assortativity = %v", r)
+	}
+}

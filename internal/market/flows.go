@@ -1,0 +1,139 @@
+package market
+
+import (
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// flow is one maker-class → taker-class channel with its share of the
+// era's transactions of a type.
+type flow struct {
+	maker, taker Class
+	weight       float64
+}
+
+// flowTable returns the maker→taker class mix for contracts of type t in
+// era e. The top entries encode the paper's Table 8 flows verbatim; the
+// remainder spreads the residual mass over the supporting channels the
+// §5.1 narrative describes (SET-UP power-users trading within their own
+// class, the STABLE emergence of SALE-taking classes L and A, and so on).
+// Weights need not sum to 1; they are sampling weights.
+func flowTable(e dataset.Era, t forum.ContractType) []flow {
+	switch t {
+	case forum.Exchange:
+		switch e {
+		case dataset.EraSetup:
+			return []flow{
+				{ClassF, ClassE, 0.10}, {ClassF, ClassK, 0.06}, {ClassD, ClassB, 0.035},
+				// "power-users and single exchangers are not well connected,
+				// with most flow volumes trading within their own class types"
+				{ClassD, ClassD, 0.07}, {ClassB, ClassB, 0.07}, {ClassG, ClassG, 0.06},
+				{ClassK, ClassK, 0.09}, {ClassE, ClassE, 0.05}, {ClassF, ClassF, 0.10},
+				{ClassG, ClassK, 0.12}, {ClassK, ClassE, 0.07}, {ClassD, ClassE, 0.035},
+				{ClassB, ClassK, 0.05}, {ClassG, ClassE, 0.04}, {ClassD, ClassK, 0.02},
+				{ClassB, ClassE, 0.04},
+			}
+		case dataset.EraStable:
+			return []flow{
+				{ClassF, ClassK, 0.11}, {ClassF, ClassE, 0.08}, {ClassG, ClassD, 0.05},
+				{ClassG, ClassK, 0.13}, {ClassD, ClassB, 0.03}, {ClassD, ClassK, 0.045},
+				{ClassK, ClassK, 0.08}, {ClassD, ClassE, 0.04}, {ClassB, ClassK, 0.06},
+				{ClassG, ClassE, 0.05}, {ClassD, ClassD, 0.04}, {ClassB, ClassB, 0.04},
+				{ClassK, ClassE, 0.05}, {ClassF, ClassB, 0.04}, {ClassE, ClassK, 0.04},
+			}
+		default: // COVID-19
+			return []flow{
+				{ClassF, ClassK, 0.15}, {ClassF, ClassE, 0.08}, {ClassG, ClassD, 0.05},
+				{ClassG, ClassK, 0.13}, {ClassD, ClassB, 0.04}, {ClassD, ClassK, 0.045},
+				{ClassB, ClassK, 0.07}, {ClassD, ClassE, 0.035}, {ClassK, ClassK, 0.05},
+				{ClassG, ClassE, 0.05}, {ClassD, ClassD, 0.035}, {ClassB, ClassB, 0.05},
+				{ClassK, ClassE, 0.04}, {ClassE, ClassK, 0.04},
+			}
+		}
+	case forum.Purchase:
+		switch e {
+		case dataset.EraSetup:
+			return []flow{
+				{ClassH, ClassC, 0.22}, {ClassJ, ClassC, 0.20}, {ClassH, ClassE, 0.07},
+				{ClassH, ClassD, 0.10}, {ClassJ, ClassD, 0.09}, {ClassH, ClassJ, 0.08},
+				{ClassA, ClassC, 0.07}, {ClassH, ClassI, 0.05}, {ClassJ, ClassE, 0.05},
+				{ClassI, ClassC, 0.04}, {ClassB, ClassC, 0.03},
+			}
+		case dataset.EraStable:
+			return []flow{
+				{ClassH, ClassC, 0.23}, {ClassJ, ClassC, 0.19}, {ClassH, ClassK, 0.06},
+				{ClassH, ClassI, 0.08}, {ClassJ, ClassD, 0.08}, {ClassH, ClassD, 0.08},
+				{ClassA, ClassC, 0.07}, {ClassJ, ClassK, 0.05}, {ClassH, ClassE, 0.05},
+				{ClassI, ClassC, 0.04}, {ClassB, ClassC, 0.03},
+			}
+		default:
+			return []flow{
+				{ClassH, ClassC, 0.26}, {ClassJ, ClassC, 0.18}, {ClassH, ClassI, 0.06},
+				{ClassA, ClassC, 0.09}, {ClassH, ClassB, 0.07}, {ClassJ, ClassD, 0.07},
+				{ClassH, ClassD, 0.06}, {ClassJ, ClassE, 0.05}, {ClassH, ClassE, 0.05},
+				{ClassB, ClassC, 0.04},
+			}
+		}
+	case forum.Sale:
+		switch e {
+		case dataset.EraSetup:
+			// Small-scale users selling to one another one-to-one; the
+			// volume beyond the one-shot cohort comes from the mid-level
+			// maker classes (I makes ~5 SALE/month, G and K more).
+			return []flow{
+				{ClassC, ClassJ, 0.08}, {ClassC, ClassA, 0.045}, {ClassI, ClassJ, 0.14},
+				{ClassC, ClassB, 0.026}, {ClassC, ClassH, 0.02}, {ClassI, ClassA, 0.10},
+				{ClassC, ClassE, 0.013}, {ClassC, ClassL, 0.013}, {ClassI, ClassB, 0.08},
+				{ClassC, ClassK, 0.013}, {ClassG, ClassJ, 0.10}, {ClassF, ClassJ, 0.04},
+				{ClassB, ClassJ, 0.08}, {ClassI, ClassH, 0.08}, {ClassG, ClassA, 0.06},
+				{ClassK, ClassJ, 0.05}, {ClassH, ClassJ, 0.04},
+			}
+		case dataset.EraStable:
+			// The business-to-customer shift: one-shot C users flood in
+			// (the most common flows) while mid/power makers carry the
+			// residual volume; L and A absorb on the taker side.
+			return []flow{
+				{ClassC, ClassL, 0.08}, {ClassC, ClassA, 0.033}, {ClassC, ClassJ, 0.02},
+				{ClassC, ClassK, 0.007}, {ClassI, ClassL, 0.24}, {ClassI, ClassA, 0.09},
+				{ClassG, ClassL, 0.14}, {ClassB, ClassL, 0.08}, {ClassH, ClassL, 0.06},
+				{ClassI, ClassJ, 0.05}, {ClassG, ClassA, 0.05}, {ClassK, ClassL, 0.05},
+				{ClassF, ClassL, 0.03}, {ClassI, ClassB, 0.03}, {ClassI, ClassE, 0.03},
+			}
+		default:
+			return []flow{
+				{ClassC, ClassL, 0.075}, {ClassC, ClassA, 0.033}, {ClassC, ClassJ, 0.02},
+				{ClassC, ClassK, 0.007}, {ClassI, ClassL, 0.23}, {ClassI, ClassA, 0.08},
+				{ClassG, ClassL, 0.14}, {ClassB, ClassL, 0.08}, {ClassH, ClassL, 0.06},
+				{ClassI, ClassJ, 0.05}, {ClassG, ClassA, 0.05}, {ClassK, ClassL, 0.06},
+				{ClassF, ClassL, 0.03}, {ClassI, ClassB, 0.03}, {ClassI, ClassE, 0.03},
+			}
+		}
+	case forum.Trade:
+		// TRADE is a trickle spread over mid-size users in all eras.
+		return []flow{
+			{ClassH, ClassI, 0.2}, {ClassI, ClassH, 0.15}, {ClassE, ClassK, 0.15},
+			{ClassA, ClassB, 0.15}, {ClassB, ClassA, 0.15}, {ClassK, ClassE, 0.1},
+			{ClassL, ClassE, 0.1},
+		}
+	default: // VOUCH COPY: reputation-seekers (mostly L-style sellers) giving away goods.
+		return []flow{
+			{ClassL, ClassC, 0.3}, {ClassL, ClassJ, 0.2}, {ClassI, ClassJ, 0.15},
+			{ClassI, ClassC, 0.15}, {ClassK, ClassC, 0.1}, {ClassH, ClassJ, 0.1},
+		}
+	}
+}
+
+// flowWeightsFor caches the weight slice for Categorical sampling.
+type flowSampler struct {
+	flows   []flow
+	weights []float64
+}
+
+func newFlowSampler(e dataset.Era, t forum.ContractType) *flowSampler {
+	fl := flowTable(e, t)
+	w := make([]float64, len(fl))
+	for i, f := range fl {
+		w[i] = f.weight
+	}
+	return &flowSampler{flows: fl, weights: w}
+}

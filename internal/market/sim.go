@@ -1,0 +1,693 @@
+// Package market is the agent-based marketplace simulator standing in for
+// the proprietary CrimeBB contract dump (see DESIGN.md §2). Agents are
+// drawn from the paper's 12 published behaviour classes; contract volumes,
+// type mixes, visibility, outcomes, obligation texts, completion times,
+// and on-chain evidence follow the calibration targets in params.go, so
+// the downstream analyses recover the shapes of every table and figure.
+package market
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"turnup/internal/chain"
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/fx"
+	"turnup/internal/rng"
+	"turnup/internal/textmine"
+)
+
+// Truth is the simulator's ground truth, returned alongside the dataset
+// for calibration tests and paper-vs-measured reporting. Analyses must not
+// consume it; they see only the Dataset.
+type Truth struct {
+	// ValueUSD is the intended transaction value per contract (including
+	// private ones, whose text the dataset hides).
+	ValueUSD map[forum.ContractID]float64
+	// Category is the intended primary trading activity per contract.
+	Category map[forum.ContractID]textmine.Category
+	// Class is the latent behaviour class each user was spawned with.
+	Class map[forum.UserID]Class
+	// TypoContracts lists contracts whose quoted value carries an injected
+	// magnitude typo.
+	TypoContracts map[forum.ContractID]bool
+	// LedgerValue is the on-chain value recorded for contracts with chain
+	// evidence (absent for the "not found" audit slice).
+	LedgerValue map[forum.ContractID]float64
+}
+
+type agent struct {
+	id        forum.UserID
+	class     Class
+	joinMonth int
+	lastMonth int     // inclusive
+	weight    float64 // within-class selection weight (heavy-tailed for power classes)
+	thread    forum.ThreadID
+	// flaky marks users whose deals systematically fall through —
+	// scammers and abandoners. This user-level trait (not observable from
+	// any single contract) is what makes completed-contract counts
+	// zero-inflated, as the paper's Vuong tests find.
+	flaky bool
+
+	posRatings, negRatings int
+	disputes               int
+	made, accepted         int
+}
+
+type sim struct {
+	cfg   Config
+	src   *rng.Source
+	d     *dataset.Dataset
+	truth *Truth
+	gen   *textGen
+	fxTab *fx.Table
+
+	agents       []*agent
+	byClass      [NumClasses][]*agent
+	activeCum    [NumClasses][]float64 // taker-side cumulative weights, rebuilt monthly
+	activeCumMk  [NumClasses][]float64 // maker-side cumulative weights (flatter tail)
+	activeAgents [NumClasses][]*agent
+
+	nextUser     forum.UserID
+	nextThread   forum.ThreadID
+	nextContract forum.ContractID
+	nextPost     int
+
+	flowCache map[[2]int]*flowSampler
+}
+
+// Generate runs the simulator and returns the dataset plus ground truth.
+func Generate(cfg Config) (*dataset.Dataset, *Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(cfg.Seed)
+	s := &sim{
+		cfg:   cfg,
+		src:   src,
+		d:     dataset.New(),
+		fxTab: fx.Default(),
+		truth: &Truth{
+			ValueUSD:      make(map[forum.ContractID]float64),
+			Category:      make(map[forum.ContractID]textmine.Category),
+			Class:         make(map[forum.UserID]Class),
+			TypoContracts: make(map[forum.ContractID]bool),
+			LedgerValue:   make(map[forum.ContractID]float64),
+		},
+		nextUser:     1,
+		nextThread:   1,
+		nextContract: 1,
+		nextPost:     1,
+		flowCache:    make(map[[2]int]*flowSampler),
+	}
+	s.gen = newTextGen(src.Fork(101), s.fxTab)
+
+	for m := 0; m < dataset.NumMonths; m++ {
+		s.spawnCohort(m)
+		s.rebuildActive(m)
+		s.emitPosts(m)
+		s.emitContracts(m)
+	}
+	s.finishUsers()
+	if err := s.d.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("market: generated dataset invalid: %w", err)
+	}
+	return s.d, s.truth, nil
+}
+
+// spawnCohort creates the month's joining users.
+func (s *sim) spawnCohort(m int) {
+	n := int(math.Round(monthlyNewUsers[m] * s.cfg.Scale))
+	if n < NumClasses && m == 0 {
+		n = NumClasses // tiny scales still need one agent of each class early
+	}
+	shares := make([]float64, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		shares[c] = populationShare[c]
+		if m >= 9 && isPowerClass(Class(c)) {
+			shares[c] *= latePowerDamp
+		}
+	}
+	for i := 0; i < n; i++ {
+		var cl Class
+		if m == 0 && i < NumClasses {
+			cl = Class(i) // guarantee every class is represented from launch
+		} else {
+			cl = Class(s.src.Categorical(shares))
+		}
+		s.addAgent(cl, m)
+	}
+}
+
+func (s *sim) addAgent(cl Class, m int) *agent {
+	life := 1 + s.src.Geometric(1/meanLifetimeMonths[cl])
+	a := &agent{
+		id:        s.nextUser,
+		class:     cl,
+		joinMonth: m,
+		lastMonth: m + life - 1,
+		weight:    s.agentWeight(cl),
+		flaky:     s.src.Bool(flakyProb(cl)),
+	}
+	s.nextUser++
+	s.agents = append(s.agents, a)
+	s.byClass[cl] = append(s.byClass[cl], a)
+	s.truth.Class[a.id] = cl
+	return a
+}
+
+// agentWeight draws the within-class counterparty-selection weight.
+// Power classes get Pareto-tailed weights, producing the extreme hubs of
+// Figure 7; one-shot classes are uniform.
+func (s *sim) agentWeight(cl Class) float64 {
+	switch {
+	case isPowerClass(cl):
+		// Pareto(1) tail capped so the top hub absorbs thousands (the
+		// paper's busiest taker accepts ~9,000 contracts), not everything.
+		return 1 / math.Max(s.src.Float64(), 0.03)
+	case cl == ClassC || cl == ClassD || cl == ClassJ:
+		return 1
+	default:
+		return math.Exp(0.5 * s.src.Norm())
+	}
+}
+
+// rebuildActive refreshes the per-class active agent lists and cumulative
+// weights for month m.
+func (s *sim) rebuildActive(m int) {
+	for c := 0; c < NumClasses; c++ {
+		s.activeAgents[c] = s.activeAgents[c][:0]
+		s.activeCum[c] = s.activeCum[c][:0]
+		s.activeCumMk[c] = s.activeCumMk[c][:0]
+		total, totalMk := 0.0, 0.0
+		for _, a := range s.byClass[c] {
+			if a.joinMonth <= m && m <= a.lastMonth {
+				s.activeAgents[c] = append(s.activeAgents[c], a)
+				total += a.weight
+				s.activeCum[c] = append(s.activeCum[c], total)
+				// Maker-side selection is near-uniform within a class: the
+				// paper's hubs form by *accepting* contracts (max outbound
+				// 587 vs max inbound 4,992, top maker ~700 contracts vs top
+				// taker ~9,000), so initiating is far less concentrated
+				// than accepting.
+				totalMk += math.Pow(a.weight, 0.1)
+				s.activeCumMk[c] = append(s.activeCumMk[c], totalMk)
+			}
+		}
+	}
+}
+
+// pickAgent selects an active agent of the class by weight; when the class
+// has no active agent this month, it falls back to the most recent joiner
+// of the class, spawning one if the class is empty.
+func (s *sim) pickAgent(cl Class, m int, avoid forum.UserID, asMaker bool) *agent {
+	for attempt := 0; attempt < 12; attempt++ {
+		a := s.drawAgent(cl, m, asMaker)
+		if a.id != avoid {
+			return a
+		}
+	}
+	// Degenerate class population (e.g. a single active agent who is the
+	// avoid target): borrow from the global pool.
+	for attempt := 0; attempt < 64; attempt++ {
+		a := s.agents[s.src.Intn(len(s.agents))]
+		if a.id != avoid && a.joinMonth <= m {
+			return a
+		}
+	}
+	return s.addAgent(cl, m)
+}
+
+func (s *sim) drawAgent(cl Class, m int, asMaker bool) *agent {
+	actives := s.activeAgents[cl]
+	if len(actives) == 0 {
+		pool := s.byClass[cl]
+		var candidates []*agent
+		for _, a := range pool {
+			if a.joinMonth <= m {
+				candidates = append(candidates, a)
+			}
+		}
+		if len(candidates) == 0 {
+			a := s.addAgent(cl, m)
+			s.rebuildActive(m)
+			return a
+		}
+		return candidates[s.src.Intn(len(candidates))]
+	}
+	cum := s.activeCum[cl]
+	if asMaker {
+		cum = s.activeCumMk[cl]
+	}
+	u := s.src.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return actives[lo]
+}
+
+// emitPosts generates the month's forum posts (and advertising threads).
+func (s *sim) emitPosts(m int) {
+	monthStart := dataset.Month(m).Time()
+	for c := 0; c < NumClasses; c++ {
+		for _, a := range s.activeAgents[c] {
+			nPosts := s.src.Poisson(monthlyPostRate[a.class])
+			for p := 0; p < nPosts; p++ {
+				at := monthStart.Add(time.Duration(s.src.Float64() * 28 * 24 * float64(time.Hour)))
+				s.d.Posts = append(s.d.Posts, &forum.Post{
+					ID:          s.nextPost,
+					Thread:      s.postThread(a, at),
+					Author:      a.id,
+					Created:     at,
+					Marketplace: true,
+				})
+				s.nextPost++
+			}
+			// General (non-marketplace) posts at roughly double the rate.
+			nGeneral := s.src.Poisson(2 * monthlyPostRate[a.class])
+			for p := 0; p < nGeneral; p++ {
+				at := monthStart.Add(time.Duration(s.src.Float64() * 28 * 24 * float64(time.Hour)))
+				s.d.Posts = append(s.d.Posts, &forum.Post{
+					ID: s.nextPost, Author: a.id, Created: at,
+				})
+				s.nextPost++
+			}
+		}
+	}
+}
+
+// postThread returns (creating on demand) the agent's advertising thread
+// for marketplace posts; small users mostly post in others' threads.
+func (s *sim) postThread(a *agent, at time.Time) forum.ThreadID {
+	if a.thread != 0 {
+		return a.thread
+	}
+	createProb := 0.015
+	if isPowerClass(a.class) {
+		createProb = 0.8
+	} else if meanLifetimeMonths[a.class] >= 4 {
+		createProb = 0.10
+	}
+	if s.src.Bool(createProb) {
+		th := &forum.Thread{
+			ID:      s.nextThread,
+			Author:  a.id,
+			Created: at,
+			Title:   fmt.Sprintf("[%s] marketplace thread #%d", a.class, int(s.nextThread)),
+		}
+		s.nextThread++
+		s.d.Threads[th.ID] = th
+		a.thread = th.ID
+		return th.ID
+	}
+	// Post in a random existing thread, if any.
+	if len(s.d.Threads) > 0 {
+		idx := forum.ThreadID(1 + s.src.Intn(int(s.nextThread)-1))
+		if _, ok := s.d.Threads[idx]; ok {
+			return idx
+		}
+	}
+	return 0
+}
+
+// emitContracts generates the month's contracts.
+func (s *sim) emitContracts(m int) {
+	n := int(math.Round(monthlyCreated[m] * s.cfg.Scale))
+	shares := typeShare(dataset.Month(m))
+	w := shares[:]
+	for i := 0; i < n; i++ {
+		typ := forum.ContractTypes[s.src.Categorical(w)]
+		created := dataset.Month(m).Time().Add(time.Duration(s.src.Float64() * 28 * 24 * float64(time.Hour)))
+		era := dataset.EraOf(created)
+		fs := s.flowSampler(era, typ)
+		f := fs.flows[s.src.Categorical(fs.weights)]
+		maker := s.pickAgent(f.maker, m, 0, true)
+		taker := s.pickAgent(f.taker, m, maker.id, false)
+		public := s.src.Bool(publicShare[m])
+
+		c, err := forum.NewContract(s.nextContract, typ, maker.id, taker.id, created, public)
+		if err != nil {
+			continue // unreachable by construction; skip defensively
+		}
+		s.nextContract++
+		maker.made++
+
+		ob := s.gen.generate(typ, m)
+		s.applyOutcome(c, m, maker, taker, &ob)
+		s.applyText(c, &ob)
+		s.applyThread(c, maker)
+		s.applyChainEvidence(c, &ob)
+
+		s.truth.ValueUSD[c.ID] = ob.valueUSD
+		s.truth.Category[c.ID] = ob.category
+		if ob.typo {
+			s.truth.TypoContracts[c.ID] = true
+		}
+		s.d.Contracts = append(s.d.Contracts, c)
+	}
+}
+
+func (s *sim) flowSampler(e dataset.Era, t forum.ContractType) *flowSampler {
+	key := [2]int{int(e), int(t)}
+	fs, ok := s.flowCache[key]
+	if !ok {
+		fs = newFlowSampler(e, t)
+		s.flowCache[key] = fs
+	}
+	return fs
+}
+
+// isNewcomer reports whether the agent joined within the last three months
+// after the contract system matured (month 9, when contracts became
+// mandatory).
+func isNewcomer(a *agent, m int) bool {
+	return a.joinMonth >= 9 && m-a.joinMonth <= 2
+}
+
+// Outcome indexes into statusWeights order.
+const (
+	outCompleted = iota
+	outActive
+	outDisputed
+	outIncomplete
+	outCancelled
+	outDenied
+	outExpired
+)
+
+// Completion penalties: flaky traders' deals fall through most of the
+// time, and both sides of the market treat newcomers (users who joined
+// after contracts became mandatory) with suspicion. The survival factor of
+// a contract is the product of the applicable (1 − penalty) terms.
+const (
+	flakyMakerPenalty    = 0.92
+	flakyTakerPenalty    = 0.70
+	newcomerMakerPenalty = 0.30
+	newcomerTakerPenalty = 0.20
+)
+
+// meanSurvival is the contract-weighted mean of penaltySurvival per type
+// (measured empirically at calibration time); dividing the completed
+// weight by it keeps aggregate completion on the Table 1 targets. Indexed
+// by forum.ContractType.
+var meanSurvival = [forum.NumContractTypes]float64{0.69, 0.45, 0.74, 0.72, 0.56}
+
+// penaltySurvival returns the probability that the penalty chain leaves a
+// would-be completion intact for this pairing.
+func (s *sim) penaltySurvival(maker, taker *agent, m int) float64 {
+	surv := 1.0
+	if maker.flaky {
+		surv *= 1 - flakyMakerPenalty
+	} else if isNewcomer(maker, m) {
+		surv *= 1 - newcomerMakerPenalty
+	}
+	if taker.flaky {
+		surv *= 1 - flakyTakerPenalty
+	} else if isNewcomer(taker, m) {
+		surv *= 1 - newcomerTakerPenalty
+	}
+	return surv
+}
+
+func (s *sim) applyOutcome(c *forum.Contract, m int, maker, taker *agent, ob *obligation) {
+	w := statusWeights(c.Type, c.Public)
+	w[outDisputed] *= disputeBoost(dataset.Month(m))
+
+	// Scale the completed probability by this pairing's penalty survival
+	// relative to the type's mean survival: flaky/newcomer pairings
+	// complete far less, reliable pairings more, and the aggregate lands
+	// on the Table 1 target. The remaining mass is spread over the other
+	// outcomes in proportion to their target weights.
+	surv := s.penaltySurvival(maker, taker, m)
+	qc := w[outCompleted] * surv / meanSurvival[c.Type]
+	if qc > 0.95 {
+		qc = 0.95
+	}
+	restTarget := 1 - w[outCompleted]
+	scale := (1 - qc) / restTarget
+	for i := range w {
+		if i == outCompleted {
+			w[i] = qc
+		} else {
+			w[i] *= scale
+		}
+	}
+
+	outcome := s.src.Categorical(w[:])
+
+	// "Active Deal" is only observable for contracts still running at the
+	// end of collection.
+	if outcome == outActive && c.Created.Before(dataset.StudyEnd.AddDate(0, 0, -21)) {
+		outcome = outIncomplete
+	}
+
+	acceptDelay := time.Duration(math.Min(s.src.Exp(1.0/5.0), 70) * float64(time.Hour))
+	acceptAt := c.Created.Add(acceptDelay)
+
+	switch outcome {
+	case outDenied:
+		_ = c.Deny(acceptAt)
+	case outExpired:
+		_ = c.Expire(c.Created.Add(forum.ExpiryWindow + time.Hour))
+	default:
+		if err := c.Accept(acceptAt); err != nil {
+			return
+		}
+		taker.accepted++
+		switch outcome {
+		case outActive:
+			// leave running
+		case outCancelled:
+			_ = c.Cancel(acceptAt.Add(time.Duration(s.src.Exp(1.0/24.0) * float64(time.Hour))))
+		case outIncomplete:
+			if s.src.Bool(0.3) {
+				_ = c.MarkComplete(forum.MakerParty, acceptAt.Add(time.Hour))
+			}
+			_ = c.MarkIncomplete(acceptAt.Add(200 * time.Hour))
+		case outCompleted, outDisputed:
+			dur := s.completionDuration(c.Type, m)
+			doneAt := acceptAt.Add(dur)
+			if doneAt.After(dataset.StudyEnd.Add(-time.Minute)) {
+				doneAt = dataset.StudyEnd.Add(-time.Minute)
+			}
+			_ = c.MarkComplete(forum.MakerParty, acceptAt.Add(dur/2))
+			_ = c.MarkComplete(forum.TakerParty, doneAt)
+			if outcome == outDisputed {
+				_ = c.Dispute(doneAt.Add(time.Hour))
+				maker.disputes++
+				taker.disputes++
+				s.rateDisputed(c, maker, taker)
+			} else {
+				s.rateCompleted(c, maker, taker)
+				// ~30% of completed contracts lack a recorded completion
+				// date in the raw data.
+				if !s.src.Bool(completionRecordedProb) {
+					c.Completed = time.Time{}
+				}
+			}
+		}
+	}
+}
+
+func (s *sim) completionDuration(t forum.ContractType, m int) time.Duration {
+	mean := completionMeanHours[m]
+	// Log-normal with the target mean: mu = ln(mean) - sigma²/2.
+	const sigma = 1.0
+	h := s.src.LogNormal(math.Log(mean)-sigma*sigma/2, sigma)
+	if t == forum.Trade && covidTradeNoiseMonths[dataset.Month(m)] && s.src.Bool(0.08) {
+		h *= 25 // the short-lived TRADE noise peaks of Figure 4
+	}
+	if h > 2000 {
+		h = 2000
+	}
+	return time.Duration(h * float64(time.Hour))
+}
+
+func (s *sim) rateCompleted(c *forum.Contract, maker, taker *agent) {
+	// Maker rates taker and vice versa; positive dominates.
+	if u := s.src.Float64(); u < 0.85 {
+		_ = c.Rate(forum.MakerParty, forum.RatingPositive)
+		taker.posRatings++
+	} else if u < 0.88 {
+		_ = c.Rate(forum.MakerParty, forum.RatingNegative)
+		taker.negRatings++
+	}
+	if u := s.src.Float64(); u < 0.85 {
+		_ = c.Rate(forum.TakerParty, forum.RatingPositive)
+		maker.posRatings++
+	} else if u < 0.88 {
+		_ = c.Rate(forum.TakerParty, forum.RatingNegative)
+		maker.negRatings++
+	}
+}
+
+func (s *sim) rateDisputed(c *forum.Contract, maker, taker *agent) {
+	if s.src.Bool(0.6) {
+		_ = c.Rate(forum.MakerParty, forum.RatingNegative)
+		taker.negRatings++
+	}
+	if s.src.Bool(0.5) {
+		_ = c.Rate(forum.TakerParty, forum.RatingNegative)
+		maker.negRatings++
+	}
+}
+
+// applyText attaches obligation text (typos included) to the contract.
+// Private contracts are blanked — the dataset, like CrimeBB, never sees
+// their obligations — unless a dispute forced them public.
+func (s *sim) applyText(c *forum.Contract, ob *obligation) {
+	if !c.Public {
+		return
+	}
+	makerText := ob.makerText
+	if ob.valueUSD > 0 && s.src.Bool(typoProb) {
+		factor := 10
+		if s.src.Bool(0.3) {
+			factor = 100
+		}
+		makerText = injectTypo(makerText, factor)
+		ob.typo = true
+	}
+	c.MakerObligation = makerText
+	c.TakerObligation = ob.takerText
+}
+
+func (s *sim) applyThread(c *forum.Contract, maker *agent) {
+	if !c.Public || !s.src.Bool(threadLinkProb) {
+		return
+	}
+	if maker.thread == 0 && s.src.Bool(0.55) && len(s.d.Threads) > 0 {
+		// Not every linked thread is the maker's own advertisement; some
+		// contracts reference general discussion threads elsewhere.
+		idx := forum.ThreadID(1 + s.src.Intn(int(s.nextThread)-1))
+		if _, ok := s.d.Threads[idx]; ok {
+			c.Thread = idx
+			return
+		}
+	}
+	if maker.thread == 0 {
+		th := &forum.Thread{
+			ID:      s.nextThread,
+			Author:  maker.id,
+			Created: c.Created.Add(-24 * time.Hour),
+			Title:   fmt.Sprintf("[%s] marketplace thread #%d", maker.class, int(s.nextThread)),
+		}
+		s.nextThread++
+		s.d.Threads[th.ID] = th
+		maker.thread = th.ID
+	}
+	c.Thread = maker.thread
+}
+
+// applyChainEvidence gives Bitcoin-denominated contracts a chance of
+// quoting on-chain evidence, and records the corresponding ledger
+// transaction per the §4.5 audit mix.
+func (s *sim) applyChainEvidence(c *forum.Contract, ob *obligation) {
+	if !c.Public || ob.valueUSD <= 0 || !c.IsComplete() {
+		return
+	}
+	hasBTC := false
+	for _, m := range ob.methods {
+		if m == textmine.MBitcoin {
+			hasBTC = true
+		}
+	}
+	prob := chainEvidenceProb
+	if ob.valueUSD > 800 {
+		// High-value traders cite evidence far more often — which is what
+		// makes the paper's §4.5 audit of >$1k contracts possible.
+		prob = 0.92
+	}
+	if !hasBTC || !s.src.Bool(prob) {
+		return
+	}
+	addr := chain.AddressFrom(s.src.Uint64())
+	hash := chain.HashFrom(s.src.Uint64(), s.src.Uint64())
+	c.BTCAddress = string(addr)
+	c.TxHash = hash
+
+	u := s.src.Float64()
+	completedAt := c.Completed
+	if completedAt.IsZero() {
+		completedAt = c.Created.Add(24 * time.Hour)
+	}
+	switch {
+	case u < auditConfirmedProb:
+		// On-chain value matches the declaration (±2%). Typos are always
+		// mismatches: the chain holds the intended value.
+		v := ob.valueUSD * (0.98 + 0.04*s.src.Float64())
+		s.recordTx(c, addr, hash, v, completedAt)
+	case u < auditConfirmedProb+auditMismatchProb:
+		// Privately renegotiated: usually lower, occasionally higher, but
+		// never past the market's observed value ceiling.
+		factor := 0.2 + 0.7*s.src.Float64()
+		if s.src.Bool(0.15) {
+			factor = 1.2 + 0.6*s.src.Float64()
+		}
+		usd := ob.valueUSD * factor
+		if usd > 9900 {
+			usd = 9900
+		}
+		s.recordTx(c, addr, hash, usd, completedAt)
+	default:
+		// No matching transaction: the "could not be confirmed" slice.
+	}
+}
+
+func (s *sim) recordTx(c *forum.Contract, addr chain.Address, hash string, usd float64, at time.Time) {
+	tx := chain.Tx{Hash: hash, From: chain.AddressFrom(s.src.Uint64()), To: addr, ValueUSD: usd, Time: at}
+	if err := s.d.Ledger.Record(tx); err == nil {
+		s.truth.LedgerValue[c.ID] = usd
+	}
+}
+
+// finishUsers materialises forum.User records from the agents.
+func (s *sim) finishUsers() {
+	postCount := make(map[forum.UserID]int)
+	mPostCount := make(map[forum.UserID]int)
+	firstPost := make(map[forum.UserID]time.Time)
+	for _, p := range s.d.Posts {
+		postCount[p.Author]++
+		if p.Marketplace {
+			mPostCount[p.Author]++
+		}
+		if t, ok := firstPost[p.Author]; !ok || p.Created.Before(t) {
+			firstPost[p.Author] = p.Created
+		}
+	}
+	for _, a := range s.agents {
+		joined := dataset.Month(a.joinMonth).Time().Add(time.Duration(s.src.Float64() * 20 * 24 * float64(time.Hour)))
+		fp := firstPost[a.id]
+		// SET-UP joiners mostly had a forum presence predating the contract
+		// system (the paper's reputation-score observation).
+		if a.joinMonth < 9 && s.src.Bool(0.7) {
+			joined = dataset.SetupStart.AddDate(0, 0, -s.src.Intn(700)-30)
+			if fp.IsZero() || joined.Before(fp) {
+				fp = joined.Add(24 * time.Hour)
+			}
+		}
+		rep := a.posRatings - a.negRatings + postCount[a.id]/10
+		if a.joinMonth < 9 {
+			rep += 40 + s.src.Intn(120) // pre-existing reputation
+		} else {
+			rep += s.src.Intn(30)
+		}
+		s.d.Users[a.id] = &forum.User{
+			ID:               a.id,
+			Joined:           joined,
+			FirstPost:        fp,
+			Posts:            postCount[a.id],
+			MarketplacePosts: mPostCount[a.id],
+			Reputation:       rep,
+			MarketKind:       int(a.class),
+		}
+	}
+}

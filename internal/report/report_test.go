@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "N"}, [][]string{
+		{"alpha", "1"},
+		{"b", "12345"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows render with the same width.
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12345") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 5: "5", 999: "999", 1000: "1,000",
+		1234567: "1,234,567", -4321: "-4,321",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPctAndUSD(t *testing.T) {
+	if got := Pct(0.12345); got != "12.35%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := USD(1234567.8); got != "$1,234,568" {
+		t.Errorf("USD = %q", got)
+	}
+	if got := USD(-50); got != "-$50" {
+		t.Errorf("USD(-50) = %q", got)
+	}
+}
+
+func TestCountPair(t *testing.T) {
+	if got := CountPair(5533, 1911); got != "5,533 (1,911)" {
+		t.Errorf("CountPair = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	// Constant series uses the low block everywhere.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", string(flat))
+		}
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline not empty")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for s, want := range map[string]bool{
+		"123":       true,
+		"1,234":     true,
+		"$5 (10%)":  true,
+		"12.34%":    true,
+		"-8":        true,
+		"Bitcoin":   false,
+		"":          false,
+		"3 monkeys": false,
+	} {
+		if got := isNumeric(s); got != want {
+			t.Errorf("isNumeric(%q) = %v", s, got)
+		}
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	out := Series("label", []float64{1, 2}, "%4.1f")
+	if !strings.HasPrefix(out, "label") || !strings.Contains(out, "1.0") {
+		t.Errorf("Series = %q", out)
+	}
+	intOut := IntSeries("xs", []int{3, 4})
+	if !strings.Contains(intOut, "3") || !strings.Contains(intOut, "4") {
+		t.Errorf("IntSeries = %q", intOut)
+	}
+}
+
+func TestRenderComparisons(t *testing.T) {
+	rows := []Comparison{
+		{"Table 1", "m", "1", "2", true},
+		{"Fig 2", "n", "3", "4", false},
+	}
+	out := RenderComparisons(rows)
+	if !strings.Contains(out, "| Table 1 |") || !strings.Contains(out, "✓") ||
+		!strings.Contains(out, "✗") {
+		t.Errorf("RenderComparisons = %q", out)
+	}
+	if !strings.Contains(out, "1 of 2 shape claims held") {
+		t.Errorf("summary line missing: %q", out)
+	}
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"turnup/internal/rng"
+)
+
+// BootstrapCI is a percentile bootstrap confidence interval for a scalar
+// statistic.
+type BootstrapCI struct {
+	Point float64 // statistic on the original sample
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+	B     int     // resamples
+}
+
+// Bootstrap computes a percentile bootstrap CI for stat over xs with B
+// resamples at the given confidence level.
+func Bootstrap(xs []float64, stat func([]float64) float64, b int, level float64, src *rng.Source) (BootstrapCI, error) {
+	if len(xs) == 0 {
+		return BootstrapCI{}, fmt.Errorf("stats: bootstrap on empty sample")
+	}
+	if b < 10 {
+		return BootstrapCI{}, fmt.Errorf("stats: bootstrap needs >= 10 resamples, got %d", b)
+	}
+	if level <= 0 || level >= 1 {
+		return BootstrapCI{}, fmt.Errorf("stats: bootstrap level %v out of (0,1)", level)
+	}
+	out := BootstrapCI{Point: stat(xs), Level: level, B: b}
+	resample := make([]float64, len(xs))
+	stats := make([]float64, b)
+	for r := 0; r < b; r++ {
+		for i := range resample {
+			resample[i] = xs[src.Intn(len(xs))]
+		}
+		stats[r] = stat(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	out.Lo = Quantile(stats, alpha)
+	out.Hi = Quantile(stats, 1-alpha)
+	return out, nil
+}
+
+// Contains reports whether the interval covers v.
+func (ci BootstrapCI) Contains(v float64) bool { return v >= ci.Lo && v <= ci.Hi }

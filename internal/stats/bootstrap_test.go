@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"testing"
+
+	"turnup/internal/rng"
+)
+
+func TestBootstrapMeanCI(t *testing.T) {
+	src := rng.New(801)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.NormMS(10, 2)
+	}
+	ci, err := Bootstrap(xs, Mean, 500, 0.95, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(ci.Point) {
+		t.Errorf("interval [%v, %v] excludes its own point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if !ci.Contains(10) {
+		t.Errorf("95%% CI [%v, %v] excludes the true mean 10", ci.Lo, ci.Hi)
+	}
+	// Width should be roughly 2·1.96·σ/√n ≈ 0.35.
+	width := ci.Hi - ci.Lo
+	if width < 0.15 || width > 0.8 {
+		t.Errorf("CI width = %v, want ~0.35", width)
+	}
+}
+
+func TestBootstrapCoverage(t *testing.T) {
+	// Repeated experiments: the 90% CI should cover the true value in
+	// roughly 90% of trials (allow a generous band at 60 trials).
+	src := rng.New(809)
+	covered := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 120)
+		for i := range xs {
+			xs[i] = src.Exp(0.5) // mean 2
+		}
+		ci, err := Bootstrap(xs, Mean, 300, 0.90, src.Fork(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Contains(2) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.75 || frac > 1.0 {
+		t.Errorf("coverage = %.2f, want ~0.90", frac)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	src := rng.New(811)
+	if _, err := Bootstrap(nil, Mean, 100, 0.95, src); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Bootstrap([]float64{1, 2}, Mean, 5, 0.95, src); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := Bootstrap([]float64{1, 2}, Mean, 100, 1.5, src); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"turnup/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance of this classic set is 32/7.
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-input descriptive stats should be 0")
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("Summarize(nil).N != 0")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); !almostEq(m, 2, 1e-12) {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); !almostEq(m, 2.5, 1e-12) {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMinMaxPanic(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestSkewnessSymmetric(t *testing.T) {
+	if s := Skewness([]float64{1, 2, 3, 4, 5}); !almostEq(s, 0, 1e-12) {
+		t.Errorf("symmetric skewness = %v", s)
+	}
+	if s := Skewness([]float64{1, 1, 1, 1, 100}); s <= 0 {
+		t.Errorf("right-skewed data gave skewness %v", s)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	out := Standardize([]float64{1, 2, 3, 4, 5})
+	if !almostEq(Mean(out), 0, 1e-12) {
+		t.Errorf("standardized mean = %v", Mean(out))
+	}
+	if !almostEq(StdDev(out), 1, 1e-12) {
+		t.Errorf("standardized sd = %v", StdDev(out))
+	}
+	// Constant input: centred but not scaled, no NaNs.
+	for _, v := range Standardize([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Errorf("constant standardize produced %v", v)
+		}
+	}
+}
+
+func TestSqrtTransformOdd(t *testing.T) {
+	out := SqrtTransform([]float64{4, -4, 0})
+	want := []float64{2, -2, 0}
+	for i := range out {
+		if !almostEq(out[i], want[i], 1e-12) {
+			t.Errorf("SqrtTransform[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestLorenzAndShareOfTop(t *testing.T) {
+	// One user holds 70 of 100 total; top 25% (1 of 4) must hold 70%.
+	w := []float64{70, 10, 10, 10}
+	if s := ShareOfTop(w, 0.25); !almostEq(s, 0.7, 1e-12) {
+		t.Errorf("ShareOfTop = %v, want 0.7", s)
+	}
+	frac, share := Lorenz(w)
+	if len(frac) != 4 || !almostEq(share[0], 0.7, 1e-12) || !almostEq(share[3], 1, 1e-12) {
+		t.Errorf("Lorenz = %v %v", frac, share)
+	}
+	// Share curve must be monotone non-decreasing.
+	for i := 1; i < len(share); i++ {
+		if share[i] < share[i-1]-1e-12 {
+			t.Fatalf("Lorenz share not monotone at %d", i)
+		}
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almostEq(g, 0, 1e-9) {
+		t.Errorf("equal Gini = %v", g)
+	}
+	g := Gini([]float64{0, 0, 0, 100})
+	if g < 0.7 || g > 1 {
+		t.Errorf("concentrated Gini = %v", g)
+	}
+}
+
+func TestGiniShareProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.Intn(50) + 2
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = src.Float64() * 100
+		}
+		g := Gini(w)
+		s := ShareOfTop(w, 0.5)
+		return g >= -1e-9 && g <= 1 && s >= 0.5-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonCorr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := PearsonCorr(xs, ys); !almostEq(c, 1, 1e-12) {
+		t.Errorf("perfect corr = %v", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := PearsonCorr(xs, neg); !almostEq(c, -1, 1e-12) {
+		t.Errorf("perfect anti-corr = %v", c)
+	}
+	if c := PearsonCorr(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Errorf("constant corr = %v", c)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || !almostEq(s.Total, 110, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEq(s.Median, 3, 1e-12) {
+		t.Errorf("Summary.Median = %v", s.Median)
+	}
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"turnup/internal/rng"
+)
+
+// buildDesign assembles a design matrix with an intercept column followed by
+// the provided covariate columns.
+func buildDesign(cols ...[]float64) *Matrix {
+	n := len(cols[0])
+	m := NewMatrix(n, len(cols)+1)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, 1)
+		for j, c := range cols {
+			m.Set(i, j+1, c[i])
+		}
+	}
+	return m
+}
+
+func TestPoissonRegressionRecovery(t *testing.T) {
+	src := rng.New(101)
+	const n = 5000
+	trueBeta := []float64{0.5, 0.8, -0.4}
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = src.Norm()
+		x2[i] = src.Norm()
+		mu := math.Exp(trueBeta[0] + trueBeta[1]*x1[i] + trueBeta[2]*x2[i])
+		y[i] = float64(src.Poisson(mu))
+	}
+	res, err := PoissonRegression(buildDesign(x1, x2), y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("IRLS did not converge")
+	}
+	for j, want := range trueBeta {
+		if math.Abs(res.Coef[j]-want) > 0.06 {
+			t.Errorf("beta[%d] = %v, want %v", j, res.Coef[j], want)
+		}
+		// True value should be within ~4 standard errors.
+		if math.Abs(res.Coef[j]-want) > 4*res.StdErr[j] {
+			t.Errorf("beta[%d] = %v ± %v too far from %v", j, res.Coef[j], res.StdErr[j], want)
+		}
+	}
+	if res.McFadden <= 0 || res.McFadden >= 1 {
+		t.Errorf("McFadden = %v", res.McFadden)
+	}
+	if res.AIC <= 0 || res.BIC <= res.AIC {
+		t.Errorf("AIC=%v BIC=%v (BIC should exceed AIC for n>7)", res.AIC, res.BIC)
+	}
+}
+
+func TestPoissonRegressionInterceptOnly(t *testing.T) {
+	// Intercept-only fit must recover log(mean).
+	y := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	x := NewMatrix(len(y), 1)
+	for i := range y {
+		x.Set(i, 0, 1)
+	}
+	res, err := PoissonRegression(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Coef[0], math.Log(3.5), 1e-6) {
+		t.Errorf("intercept = %v, want log(3.5)=%v", res.Coef[0], math.Log(3.5))
+	}
+	// Null likelihood equals model likelihood; McFadden 0.
+	if !almostEq(res.McFadden, 0, 1e-9) {
+		t.Errorf("intercept-only McFadden = %v", res.McFadden)
+	}
+}
+
+func TestPoissonRegressionWeights(t *testing.T) {
+	// Zero-weight observations must not influence the fit.
+	y := []float64{1, 2, 3, 1000}
+	x := NewMatrix(4, 1)
+	for i := 0; i < 4; i++ {
+		x.Set(i, 0, 1)
+	}
+	w := []float64{1, 1, 1, 0}
+	res, err := PoissonRegression(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Coef[0], math.Log(2), 1e-6) {
+		t.Errorf("weighted intercept = %v, want log(2)", res.Coef[0])
+	}
+	if res.N != 3 {
+		t.Errorf("effective N = %d, want 3", res.N)
+	}
+}
+
+func TestPoissonRegressionErrors(t *testing.T) {
+	x := NewMatrix(2, 1)
+	if _, err := PoissonRegression(x, []float64{1}, nil); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := PoissonRegression(NewMatrix(0, 0), nil, nil); err == nil {
+		t.Error("empty design accepted")
+	}
+	if _, err := PoissonRegression(x, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	under := NewMatrix(1, 3)
+	if _, err := PoissonRegression(under, []float64{1}, nil); err == nil {
+		t.Error("under-determined design accepted")
+	}
+}
+
+func TestLogisticRegressionRecovery(t *testing.T) {
+	src := rng.New(103)
+	const n = 8000
+	trueBeta := []float64{-0.5, 1.2}
+	x1 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = src.Norm()
+		p := 1 / (1 + math.Exp(-(trueBeta[0] + trueBeta[1]*x1[i])))
+		if src.Bool(p) {
+			y[i] = 1
+		}
+	}
+	res, err := LogisticRegression(buildDesign(x1), y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueBeta {
+		if math.Abs(res.Coef[j]-want) > 0.1 {
+			t.Errorf("beta[%d] = %v, want %v", j, res.Coef[j], want)
+		}
+	}
+}
+
+func TestLogisticFractionalResponse(t *testing.T) {
+	// Fractional responses (the ZIP M-step case): intercept-only fit must
+	// return logit of the mean.
+	y := []float64{0.2, 0.4, 0.6, 0.8}
+	x := NewMatrix(4, 1)
+	for i := range y {
+		x.Set(i, 0, 1)
+	}
+	res, err := LogisticRegression(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Coef[0], 0, 1e-6) { // logit(0.5) = 0
+		t.Errorf("fractional intercept = %v", res.Coef[0])
+	}
+}
+
+func TestLogisticRejectsOutOfRange(t *testing.T) {
+	x := NewMatrix(2, 1)
+	x.Set(0, 0, 1)
+	x.Set(1, 0, 1)
+	if _, err := LogisticRegression(x, []float64{0, 1.5}, nil); err == nil {
+		t.Error("response > 1 accepted")
+	}
+}
+
+func TestLogisticSeparationSurvives(t *testing.T) {
+	// Perfectly separated data: coefficients diverge in theory; the clamped
+	// eta and ridge fallback must keep the fit finite and errorless.
+	x1 := []float64{-2, -1, 1, 2}
+	y := []float64{0, 0, 1, 1}
+	res, err := LogisticRegression(buildDesign(x1), y, nil)
+	if err != nil {
+		t.Fatalf("separation broke the fit: %v", err)
+	}
+	for _, c := range res.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("non-finite coefficient %v", c)
+		}
+	}
+}
+
+func TestGLMLogLikMatchesManual(t *testing.T) {
+	y := []float64{0, 1, 2}
+	x := NewMatrix(3, 1)
+	for i := range y {
+		x.Set(i, 0, 1)
+	}
+	res, err := PoissonRegression(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := math.Exp(res.Coef[0])
+	want := 0.0
+	for _, yi := range y {
+		want += PoissonLogPMF(int(yi), mu)
+	}
+	if !almostEq(res.LogLik, want, 1e-9) {
+		t.Errorf("LogLik = %v, want %v", res.LogLik, want)
+	}
+}
+
+func TestPearsonDispersion(t *testing.T) {
+	src := rng.New(401)
+	const n = 20000
+	y := make([]float64, n)
+	mu := make([]float64, n)
+	// Equidispersed: Poisson data at its own mean.
+	for i := range y {
+		mu[i] = 4
+		y[i] = float64(src.Poisson(4))
+	}
+	phi := PearsonDispersion(y, mu, 1)
+	if phi < 0.9 || phi > 1.1 {
+		t.Errorf("Poisson dispersion = %.3f, want ~1", phi)
+	}
+	// Overdispersed: negative-binomial-ish mixture.
+	for i := range y {
+		lambda := 4 * src.Exp(1)
+		y[i] = float64(src.Poisson(lambda))
+		mu[i] = 4
+	}
+	phiOver := PearsonDispersion(y, mu, 1)
+	if phiOver < 2 {
+		t.Errorf("mixture dispersion = %.3f, want clearly > 1", phiOver)
+	}
+	// Degenerate inputs.
+	if got := PearsonDispersion([]float64{1}, []float64{1}, 5); got != 0 {
+		t.Errorf("df<=0 dispersion = %v", got)
+	}
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"turnup/internal/rng"
+)
+
+// LCAResult is a fitted latent class model for multivariate count data:
+// a mixture of K classes, each emitting D independent Poisson counts.
+// This is the modelling engine behind the paper's Latent Transition Model
+// (§5.1): each user-month is an observation, the D dimensions are the
+// make/take counts per contract type, and the classes are the 12 behaviour
+// types of Table 6.
+type LCAResult struct {
+	K, D       int
+	Weights    []float64   // class mixing proportions, length K
+	Rates      [][]float64 // K × D Poisson rates (the Table 6 matrix)
+	LogLik     float64
+	AIC, BIC   float64
+	N          int
+	Iters      int
+	Converged  bool
+	Posterior  [][]float64 // N × K responsibilities
+	Assignment []int       // MAP class per observation
+}
+
+const (
+	lcaMaxIter = 300
+	lcaTol     = 1e-7
+	lcaRateEps = 1e-6 // floor on rates: keeps log-PMFs finite for zero-rate cells
+)
+
+// FitLCA fits a K-class independent-Poisson mixture to data (N × D counts)
+// by EM with random-responsibility initialisation.
+func FitLCA(data [][]float64, k int, src *rng.Source) (*LCAResult, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: LCA on empty data")
+	}
+	d := len(data[0])
+	if d == 0 {
+		return nil, fmt.Errorf("stats: LCA with zero dimensions")
+	}
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("stats: ragged LCA data at row %d", i)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("stats: negative count at (%d,%d)", i, j)
+			}
+		}
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("stats: LCA k=%d with n=%d", k, n)
+	}
+
+	res := &LCAResult{K: k, D: d, N: n}
+	// Initialise rates from randomly perturbed k-means-ish seeds: pick k
+	// random rows as rate anchors, blended with the global mean.
+	global := make([]float64, d)
+	for _, row := range data {
+		for j, v := range row {
+			global[j] += v
+		}
+	}
+	for j := range global {
+		global[j] /= float64(n)
+	}
+	rates := make([][]float64, k)
+	for c := range rates {
+		anchor := data[src.Intn(n)]
+		rates[c] = make([]float64, d)
+		for j := range rates[c] {
+			rates[c][j] = math.Max(0.7*anchor[j]+0.3*global[j]+0.05*src.Float64(), lcaRateEps)
+		}
+	}
+	weights := make([]float64, k)
+	for c := range weights {
+		weights[c] = 1 / float64(k)
+	}
+
+	post := make([][]float64, n)
+	for i := range post {
+		post[i] = make([]float64, k)
+	}
+	logp := make([]float64, k)
+	prev := math.Inf(-1)
+	for iter := 1; iter <= lcaMaxIter; iter++ {
+		res.Iters = iter
+		// E-step in log space.
+		lik := 0.0
+		for i, row := range data {
+			for c := 0; c < k; c++ {
+				lp := math.Log(weights[c])
+				for j, v := range row {
+					lp += PoissonLogPMF(int(v), rates[c][j])
+				}
+				logp[c] = lp
+			}
+			lse := logSumExp(logp)
+			lik += lse
+			for c := 0; c < k; c++ {
+				post[i][c] = math.Exp(logp[c] - lse)
+			}
+		}
+		if math.Abs(lik-prev) < lcaTol*(math.Abs(lik)+1) {
+			res.Converged = true
+			res.LogLik = lik
+			break
+		}
+		prev = lik
+		res.LogLik = lik
+
+		// M-step.
+		for c := 0; c < k; c++ {
+			wc := 0.0
+			for i := range data {
+				wc += post[i][c]
+			}
+			weights[c] = wc / float64(n)
+			for j := 0; j < d; j++ {
+				num := 0.0
+				for i, row := range data {
+					num += post[i][c] * row[j]
+				}
+				if wc > 0 {
+					rates[c][j] = math.Max(num/wc, lcaRateEps)
+				}
+			}
+		}
+	}
+
+	res.Weights = weights
+	res.Rates = rates
+	res.Posterior = post
+	res.Assignment = make([]int, n)
+	for i := range post {
+		best, bestP := 0, post[i][0]
+		for c := 1; c < k; c++ {
+			if post[i][c] > bestP {
+				best, bestP = c, post[i][c]
+			}
+		}
+		res.Assignment[i] = best
+	}
+	params := float64(k - 1 + k*d)
+	res.AIC = -2*res.LogLik + 2*params
+	res.BIC = -2*res.LogLik + params*math.Log(float64(n))
+	return res, nil
+}
+
+func logSumExp(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// SelectLCA sweeps the class count over [kMin, kMax] with nRestarts EM runs
+// per k (best log-likelihood kept), returning the fit minimising BIC and
+// all per-k fits. The paper selects 12 classes by AIC/BIC parsimony.
+func SelectLCA(data [][]float64, kMin, kMax, nRestarts int, src *rng.Source) (best *LCAResult, fits map[int]*LCAResult, err error) {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if nRestarts < 1 {
+		nRestarts = 1
+	}
+	fits = make(map[int]*LCAResult)
+	for k := kMin; k <= kMax; k++ {
+		var bestK *LCAResult
+		for r := 0; r < nRestarts; r++ {
+			fit, ferr := FitLCA(data, k, src.Fork(uint64(k*1000+r)))
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			if bestK == nil || fit.LogLik > bestK.LogLik {
+				bestK = fit
+			}
+		}
+		fits[k] = bestK
+		if best == nil || bestK.BIC < best.BIC {
+			best = bestK
+		}
+	}
+	return best, fits, nil
+}
+
+// Classify returns the MAP class under the fitted model for a new
+// observation, without refitting.
+func (m *LCAResult) Classify(row []float64) int {
+	best, bestLP := 0, math.Inf(-1)
+	for c := 0; c < m.K; c++ {
+		lp := math.Log(m.Weights[c])
+		for j, v := range row {
+			lp += PoissonLogPMF(int(v), m.Rates[c][j])
+		}
+		if lp > bestLP {
+			best, bestLP = c, lp
+		}
+	}
+	return best
+}
+
+// TransitionMatrix estimates a latent transition matrix from per-period
+// class assignments: entry (a, b) is P(class b at t+1 | class a at t),
+// estimated from all consecutive-period pairs in the sequences. Sequences
+// map an entity ID to its ordered class assignments; negative class values
+// mark periods where the entity is absent and are skipped (no transition is
+// counted across a gap unless bridgeGaps is true).
+func TransitionMatrix(sequences map[string][]int, k int, bridgeGaps bool) [][]float64 {
+	counts := make([][]float64, k)
+	for i := range counts {
+		counts[i] = make([]float64, k)
+	}
+	for _, seq := range sequences {
+		prev := -1
+		for _, c := range seq {
+			if c < 0 || c >= k {
+				if !bridgeGaps {
+					prev = -1
+				}
+				continue
+			}
+			if prev >= 0 {
+				counts[prev][c]++
+			}
+			prev = c
+		}
+	}
+	for a := range counts {
+		total := 0.0
+		for _, v := range counts[a] {
+			total += v
+		}
+		if total > 0 {
+			for b := range counts[a] {
+				counts[a][b] /= total
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a small dense row-major matrix used by the regression kernels.
+// It is deliberately minimal: the design matrices in this repository have at
+// most a dozen columns, so numeric robustness (Cholesky with ridge fallback)
+// matters far more than BLAS-grade speed.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("stats: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("stats: ragged matrix rows (%d vs %d)", len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec returns m · v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("stats: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// XtWX computes Xᵀ·diag(w)·X, the weighted Gram matrix at the heart of
+// every IRLS iteration. w may be nil for unit weights.
+func XtWX(x *Matrix, w []float64) *Matrix {
+	p := x.Cols
+	out := NewMatrix(p, p)
+	for i := 0; i < x.Rows; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		row := x.Row(i)
+		for a := 0; a < p; a++ {
+			ra := wi * row[a]
+			if ra == 0 {
+				continue
+			}
+			for b := a; b < p; b++ {
+				out.Data[a*p+b] += ra * row[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			out.Data[a*p+b] = out.Data[b*p+a]
+		}
+	}
+	return out
+}
+
+// XtWz computes Xᵀ·diag(w)·z. w may be nil for unit weights.
+func XtWz(x *Matrix, w, z []float64) []float64 {
+	p := x.Cols
+	out := make([]float64, p)
+	for i := 0; i < x.Rows; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		wz := wi * z[i]
+		if wz == 0 {
+			continue
+		}
+		row := x.Row(i)
+		for a := 0; a < p; a++ {
+			out[a] += row[a] * wz
+		}
+	}
+	return out
+}
+
+// Cholesky factors a symmetric positive-definite matrix as L·Lᵀ, returning
+// the lower-triangular factor. It returns an error when the matrix is not
+// positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("stats: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("stats: matrix not positive definite (pivot %d = %g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A via Cholesky.
+// If A is singular or indefinite it retries with an escalating ridge term
+// (A + εI); regression callers rely on this to survive collinear designs.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	ridge := 0.0
+	// Scale the ridge to the matrix magnitude so it is meaningful for both
+	// tiny and huge Gram matrices.
+	maxDiag := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if d := math.Abs(a.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		work := a
+		if ridge > 0 {
+			work = NewMatrix(a.Rows, a.Cols)
+			copy(work.Data, a.Data)
+			for i := 0; i < a.Rows; i++ {
+				work.Set(i, i, work.At(i, i)+ridge)
+			}
+		}
+		l, err := Cholesky(work)
+		if err != nil {
+			if ridge == 0 {
+				ridge = 1e-10 * maxDiag
+			} else {
+				ridge *= 100
+			}
+			continue
+		}
+		return choleskySolve(l, b), nil
+	}
+	return nil, fmt.Errorf("stats: SolveSPD failed even with ridge %g", ridge)
+}
+
+func choleskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// InvertSPD inverts a symmetric positive-definite matrix, with the same
+// ridge fallback as SolveSPD. Used for coefficient covariance matrices.
+func InvertSPD(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := SolveSPD(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

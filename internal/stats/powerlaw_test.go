@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"turnup/internal/rng"
+)
+
+// drawPowerLaw samples exactly from a bounded discrete power law
+// P(x) ∝ x^-alpha on {xmin, ..., xmin+support-1} via the Zipf sampler.
+// The truncation at a large support leaves negligible tail mass for
+// alpha > 1.5.
+func drawPowerLaw(src *rng.Source, n int, alpha float64, xmin int) []int {
+	const support = 200000
+	z := rng.NewZipf(support, alpha)
+	out := make([]int, n)
+	for i := range out {
+		// Zipf ranks are 0-based with weight (k+1)^-alpha; shift so the
+		// smallest value is exactly xmin.
+		out[i] = z.Sample(src) + xmin
+	}
+	return out
+}
+
+func TestFitPowerLawRecovery(t *testing.T) {
+	src := rng.New(501)
+	for _, alpha := range []float64{1.8, 2.5, 3.2} {
+		xs := drawPowerLaw(src, 20000, alpha, 1)
+		fit, err := FitPowerLaw(xs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Alpha-alpha) > 0.1 {
+			t.Errorf("alpha = %v, want %v", fit.Alpha, alpha)
+		}
+		if fit.NTail != len(xs) {
+			t.Errorf("NTail = %d", fit.NTail)
+		}
+		if fit.KS > 0.05 {
+			t.Errorf("KS = %v on true power-law data", fit.KS)
+		}
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]int{1, 2, 3}, 0); err == nil {
+		t.Error("xmin=0 accepted")
+	}
+	if _, err := FitPowerLaw([]int{1, 1, 1}, 5); err == nil {
+		t.Error("empty tail accepted")
+	}
+}
+
+func TestFitPowerLawScan(t *testing.T) {
+	src := rng.New(503)
+	// Genuine power law with extra non-power-law mass piled onto {1, 2}:
+	// the scan should discard the corrupted head and recover the exponent
+	// on the tail.
+	xs := drawPowerLaw(src, 8000, 2.2, 1)
+	for i := 0; i < 4000; i++ {
+		xs = append(xs, 1+src.Intn(2))
+	}
+	fit, err := FitPowerLawScan(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.XMin > 20 {
+		t.Errorf("scanned xmin = %d, unreasonably deep into the tail", fit.XMin)
+	}
+	if math.Abs(fit.Alpha-2.2) > 0.35 {
+		t.Errorf("scanned alpha = %v, want ~2.2", fit.Alpha)
+	}
+}
+
+func TestPowerLawKSDetectsNonPowerLaw(t *testing.T) {
+	src := rng.New(509)
+	// Poisson data is NOT power-law; KS should be clearly worse than on
+	// genuine power-law data.
+	var pois []int
+	for i := 0; i < 5000; i++ {
+		pois = append(pois, 1+src.Poisson(10))
+	}
+	fitP, err := FitPowerLaw(pois, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine := drawPowerLaw(src, 5000, 2.3, 1)
+	fitG, err := FitPowerLaw(genuine, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitP.KS < fitG.KS*2 {
+		t.Errorf("Poisson KS %v not clearly worse than power-law KS %v", fitP.KS, fitG.KS)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram([]int{1, 1, 2, 5, 5, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+	if len(DegreeHistogram(nil)) != 0 {
+		t.Error("empty histogram not empty")
+	}
+}

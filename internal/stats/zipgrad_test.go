@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"turnup/internal/rng"
+)
+
+func TestZIPGradientMatchesEM(t *testing.T) {
+	src := rng.New(601)
+	countX, y, zeroX := simulateZIP(src, 2500, []float64{1.0, 0.5}, []float64{-0.4, 0.6})
+	em, err := ZIPRegression(countX, y, zeroX,
+		[]string{"(Intercept)", "x1"}, []string{"(Intercept)", "z1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := ZIPRegressionGradient(countX, y, zeroX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both optimisers must land on (essentially) the same maximum.
+	if diff := math.Abs(em.LogLik - gd.LogLik); diff > 0.05*(math.Abs(em.LogLik)/1000+1) {
+		t.Errorf("loglik gap: EM %.4f vs gradient %.4f", em.LogLik, gd.LogLik)
+	}
+	for j := range em.Count.Coef {
+		if math.Abs(em.Count.Coef[j]-gd.CountCoef[j]) > 0.05 {
+			t.Errorf("count beta[%d]: EM %.4f vs gradient %.4f", j, em.Count.Coef[j], gd.CountCoef[j])
+		}
+	}
+	for j := range em.Zero.Coef {
+		if math.Abs(em.Zero.Coef[j]-gd.ZeroCoef[j]) > 0.12 {
+			t.Errorf("zero gamma[%d]: EM %.4f vs gradient %.4f", j, em.Zero.Coef[j], gd.ZeroCoef[j])
+		}
+	}
+}
+
+func TestZIPGradientRejectsBadDesign(t *testing.T) {
+	x := NewMatrix(2, 1)
+	if _, err := ZIPRegressionGradient(x, []float64{1}, x); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}

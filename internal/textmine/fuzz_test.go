@@ -1,0 +1,51 @@
+package textmine
+
+import "testing"
+
+// FuzzExtractValues ensures arbitrary text never panics the extractor and
+// always yields non-negative, denominated amounts.
+func FuzzExtractValues(f *testing.F) {
+	for _, seed := range []string{
+		"exchanging $100 btc for $105 paypal",
+		"£20 or €15 or 0.004 BTC",
+		"$2k budget... 99.99usd",
+		"$", "$$$$$", "0.0.0.0 btc", "9999999999999999999999 usd",
+		"£", "100 100 100", "selling\tstuff\nnewline",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, m := range ExtractValues(text) {
+			if m.Amount < 0 {
+				t.Fatalf("negative amount %v from %q", m.Amount, text)
+			}
+			if m.Currency == "" {
+				t.Fatalf("empty currency from %q", text)
+			}
+		}
+	})
+}
+
+// FuzzCategorize ensures the categoriser never panics and always returns a
+// non-empty, duplicate-free category list.
+func FuzzCategorize(f *testing.F) {
+	for _, seed := range []string{
+		"selling netflix account", "vouch copy", "", "   ",
+		"BITCOIN CASH bitcoin", "essay essay essay", "a$b£c€d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		cats := Categorize(text)
+		if len(cats) == 0 {
+			t.Fatalf("no categories for %q", text)
+		}
+		seen := map[Category]bool{}
+		for _, c := range cats {
+			if seen[c] {
+				t.Fatalf("duplicate category %v for %q", c, text)
+			}
+			seen[c] = true
+		}
+	})
+}

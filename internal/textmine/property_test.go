@@ -1,0 +1,132 @@
+package textmine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"turnup/internal/rng"
+)
+
+// randomText assembles obligation-ish text from a vocabulary mixing
+// category keywords, amounts, and noise.
+func randomText(src *rng.Source) string {
+	vocab := []string{
+		"selling", "buying", "exchanging", "$50", "$1200.50", "0.004 btc",
+		"paypal", "bitcoin", "amazon giftcard", "netflix account", "fortnite",
+		"bytes", "essay", "logo design", "for", "and", "the", "quick", "deal",
+		"£20", "100 usd", "zelle", "2k", "ASAP!!!", "(escrow)", "…",
+	}
+	n := 1 + src.Intn(12)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocab[src.Intn(len(vocab))]
+	}
+	return strings.Join(words, " ")
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	src := rng.New(71)
+	check := func(seed uint64) bool {
+		text := randomText(src.Fork(seed))
+		once := Normalize(text)
+		twice := Normalize(once)
+		return once == twice
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorizeAlwaysReturnsSomething(t *testing.T) {
+	src := rng.New(73)
+	check := func(seed uint64) bool {
+		cats := Categorize(randomText(src.Fork(seed)))
+		if len(cats) == 0 {
+			return false
+		}
+		// Uncategorised never co-occurs with a real category.
+		if len(cats) > 1 {
+			for _, c := range cats {
+				if c == Uncategorised {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorizeNoDuplicates(t *testing.T) {
+	src := rng.New(79)
+	check := func(seed uint64) bool {
+		cats := Categorize(randomText(src.Fork(seed)))
+		seen := map[Category]bool{}
+		for _, c := range cats {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractValuesNonNegativeAndOrdered(t *testing.T) {
+	src := rng.New(83)
+	check := func(seed uint64) bool {
+		for _, m := range ExtractValues(randomText(src.Fork(seed))) {
+			if m.Amount < 0 {
+				return false
+			}
+			if m.Currency == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentMethodsSubsetOfKnown(t *testing.T) {
+	known := map[Method]bool{}
+	for _, m := range Methods {
+		known[m] = true
+	}
+	src := rng.New(89)
+	check := func(seed uint64) bool {
+		for _, m := range PaymentMethods(randomText(src.Fork(seed))) {
+			if !known[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	texts := []string{
+		"Exchanging $100 BTC for PayPal",
+		"SELLING NETFLIX ACCOUNT",
+		"Amazon GiftCard $25",
+	}
+	for _, text := range texts {
+		upper := Categorize(strings.ToUpper(text))
+		lower := Categorize(strings.ToLower(text))
+		if !reflect.DeepEqual(upper, lower) {
+			t.Errorf("case sensitivity on %q: %v vs %v", text, upper, lower)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package textmine classifies contract obligation text the way the paper
+// does (§4.3–§4.5): normalisation (lower-casing, delimiter and stop-word
+// removal, synonym unification), regex bucketing into manually defined
+// trading-activity categories and payment methods, and extraction of
+// quoted trading values with their currency denominations.
+package textmine
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"turnup/internal/fx"
+)
+
+// Category is a trading-activity bucket from the paper's Table 3.
+type Category string
+
+// The trading-activity buckets. Uncategorised marks text too short or
+// ambiguous to classify.
+const (
+	CurrencyExchange Category = "currency exchange"
+	Payments         Category = "payments"
+	Giftcard         Category = "giftcard/coupon/reward"
+	Accounts         Category = "accounts/licenses"
+	Gaming           Category = "gaming-related"
+	HackforumsGoods  Category = "hackforums-related"
+	Hacking          Category = "hacking/programming"
+	SocialBoost      Category = "social network boost"
+	Tutorials        Category = "tutorials/guides"
+	Tools            Category = "tools/bots/software"
+	Multimedia       Category = "multimedia"
+	EWhoring         Category = "ewhoring"
+	Shipping         Category = "delivery/shipping"
+	Academic         Category = "academic help"
+	Marketing        Category = "marketing"
+	Contest          Category = "contest/award"
+	Uncategorised    Category = "uncategorised"
+)
+
+// Categories lists all classifiable buckets (excluding Uncategorised) in
+// a stable order.
+var Categories = []Category{
+	CurrencyExchange, Payments, Giftcard, Accounts, Gaming, HackforumsGoods,
+	Hacking, SocialBoost, Tutorials, Tools, Multimedia, EWhoring, Shipping,
+	Academic, Marketing, Contest,
+}
+
+// Method is a payment-method bucket from the paper's Table 4.
+type Method string
+
+// The payment-method buckets.
+const (
+	MBitcoin     Method = "Bitcoin"
+	MPayPal      Method = "PayPal"
+	MAmazonGC    Method = "Amazon Giftcards"
+	MCashapp     Method = "Cashapp"
+	MUSD         Method = "USD"
+	MEthereum    Method = "Ethereum"
+	MVenmo       Method = "Venmo"
+	MVBucks      Method = "V-bucks"
+	MZelle       Method = "Zelle"
+	MBitcoinCash Method = "Bitcoin Cash"
+	MLitecoin    Method = "Litecoin"
+	MMonero      Method = "Monero"
+	MApplePay    Method = "Apple/Google Pay"
+	MSkrill      Method = "Skrill"
+)
+
+// Methods lists all payment-method buckets in a stable order.
+var Methods = []Method{
+	MBitcoin, MPayPal, MAmazonGC, MCashapp, MUSD, MEthereum, MVenmo,
+	MVBucks, MZelle, MBitcoinCash, MLitecoin, MMonero, MApplePay, MSkrill,
+}
+
+var (
+	delimRe      = regexp.MustCompile(`[,;:!?()\[\]{}"'*_/\\|<>+=~` + "`" + `]`)
+	multiSpaceRe = regexp.MustCompile(`\s+`)
+)
+
+// synonyms unifies common spellings before matching, mirroring the paper's
+// "unifying synonyms" normalisation step.
+var synonyms = []struct{ from, to string }{
+	{"gift card", "giftcard"},
+	{"gift cards", "giftcards"},
+	{"cash app", "cashapp"},
+	{"pay pal", "paypal"},
+	{"vouch copies", "vouch copy"},
+	{"e-whoring", "ewhoring"},
+	{"e whoring", "ewhoring"},
+	{"v bucks", "vbucks"},
+	{"v-bucks", "vbucks"},
+	{"insta ", "instagram "},
+	{"yt ", "youtube "},
+	{"remote access tool", "rat"},
+	{"remote access trojan", "rat"},
+}
+
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "i": true, "in": true,
+	"is": true, "it": true, "my": true, "of": true, "on": true, "or": true,
+	"the": true, "to": true, "will": true, "with": true, "you": true,
+	"your": true, "me": true, "am": true, "this": true, "that": true,
+}
+
+// Normalize lower-cases the text, strips delimiters, collapses whitespace,
+// and unifies synonym spellings. Digits are retained because value
+// extraction needs them.
+func Normalize(text string) string {
+	s := strings.ToLower(text)
+	s = delimRe.ReplaceAllString(s, " ")
+	s = multiSpaceRe.ReplaceAllString(s, " ")
+	s = strings.TrimSpace(s)
+	for _, syn := range synonyms {
+		s = strings.ReplaceAll(s, syn.from, syn.to)
+	}
+	return s
+}
+
+// ContentTokens returns the normalised tokens with stop-words removed.
+func ContentTokens(text string) []string {
+	var out []string
+	for _, tok := range strings.Fields(Normalize(text)) {
+		if !stopwords[tok] {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+type catRule struct {
+	cat Category
+	re  *regexp.Regexp
+}
+
+var catRules = []catRule{
+	{CurrencyExchange, regexp.MustCompile(`\b(exchange|exchanging|exchanged|swap|swapping|convert|converting|cashout|cash out)\b`)},
+	{Payments, regexp.MustCompile(`\b(payment|payments|paying|send|sending|transfer|transferring)\b`)},
+	{Giftcard, regexp.MustCompile(`\b(giftcard|giftcards|gc|coupon|coupons|voucher|vouchers|reward card)\b`)},
+	{Accounts, regexp.MustCompile(`\b(account|accounts|license|licenses|licence|alts?|subscription|serial key|activation key|netflix|spotify|nordvpn|upgrade key)\b`)},
+	{Gaming, regexp.MustCompile(`\b(fortnite|minecraft|csgo|cs go|steam|roblox|league of legends|valorant|gta|vbucks|skins?|in game|ingame|game)\b`)},
+	{HackforumsGoods, regexp.MustCompile(`\b(hackforums|hack forums|hf|bytes|vouch copy|ub3r|l33t)\b`)},
+	{Hacking, regexp.MustCompile(`\b(hacking|hacker|exploits?|rat|crypter|botnets?|stresser|keylogger|malware|fud|sql injection|pentest|coding|programming|python|javascript|web development|website|develop|script)\b`)},
+	{SocialBoost, regexp.MustCompile(`\b(instagram|youtube|twitter|tiktok|followers|likes|subscribers|views|upvotes|boost|boosting)\b`)},
+	{Tutorials, regexp.MustCompile(`\b(tutorials?|guides?|ebooks?|method|methods|course|courses|mentoring|coaching)\b`)},
+	{Tools, regexp.MustCompile(`\b(bots?|tools?|software|program|checker|generator|macro|automation)\b`)},
+	{Multimedia, regexp.MustCompile(`\b(logos?|design|designs|banners?|video edit(ing)?|illustrations?|graphics?|thumbnails?|animations?|intro|artwork)\b`)},
+	{EWhoring, regexp.MustCompile(`\b(ewhoring|ewhore|ewhores)\b`)},
+	{Shipping, regexp.MustCompile(`\b(shipping|delivery|label|labels|parcel|postage)\b`)},
+	{Academic, regexp.MustCompile(`\b(essays?|homework|dissertations?|assignments?|thesis|academic)\b`)},
+	{Marketing, regexp.MustCompile(`\b(marketing|seo|promotions?|promoting|advertis\w*|traffic)\b`)},
+	{Contest, regexp.MustCompile(`\b(contests?|giveaways?|raffles?|awards?)\b`)},
+}
+
+var methodRules = []struct {
+	m  Method
+	re *regexp.Regexp
+}{
+	// Order matters: multi-word crypto names are matched (and their
+	// sub-strings excluded) before their prefixes.
+	{MBitcoinCash, regexp.MustCompile(`\b(bitcoin cash|bch)\b`)},
+	{MBitcoin, regexp.MustCompile(`\b(bitcoin|btc)\b`)},
+	{MPayPal, regexp.MustCompile(`\b(paypal|pp)\b`)},
+	{MAmazonGC, regexp.MustCompile(`\b(amazon giftcards?|amazon gc|agc)\b`)},
+	{MCashapp, regexp.MustCompile(`\bcashapp\b`)},
+	{MUSD, regexp.MustCompile(`\b(usd|dollars?)\b`)},
+	{MEthereum, regexp.MustCompile(`\b(ethereum|eth)\b`)},
+	{MVenmo, regexp.MustCompile(`\bvenmo\b`)},
+	{MVBucks, regexp.MustCompile(`\bvbucks\b`)},
+	{MZelle, regexp.MustCompile(`\bzelle\b`)},
+	{MLitecoin, regexp.MustCompile(`\b(litecoin|ltc)\b`)},
+	{MMonero, regexp.MustCompile(`\b(monero|xmr)\b`)},
+	{MApplePay, regexp.MustCompile(`\b(apple pay|google pay|applepay|googlepay)\b`)},
+	{MSkrill, regexp.MustCompile(`\bskrill\b`)},
+}
+
+// Categorize assigns the obligation text to one or more trading-activity
+// buckets (the paper: "some contracts are placed in more than one
+// category"). Text matching nothing, or with fewer than two content
+// tokens, returns just Uncategorised.
+func Categorize(text string) []Category {
+	norm := Normalize(text)
+	var out []Category
+	for _, rule := range catRules {
+		if rule.re.MatchString(norm) {
+			out = append(out, rule.cat)
+		}
+	}
+	// Two distinct payment methods traded "for" each other is a currency
+	// exchange even without an explicit exchange verb.
+	if !hasCategory(out, CurrencyExchange) && len(PaymentMethods(text)) >= 2 &&
+		strings.Contains(norm, " for ") {
+		out = append(out, CurrencyExchange)
+	}
+	if len(out) == 0 {
+		return []Category{Uncategorised}
+	}
+	return out
+}
+
+func hasCategory(cs []Category, c Category) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// PaymentMethods returns the payment-method buckets mentioned in the text.
+// "bitcoin cash" is not double-counted as Bitcoin.
+func PaymentMethods(text string) []Method {
+	norm := Normalize(text)
+	var out []Method
+	for _, rule := range methodRules {
+		if rule.re.MatchString(norm) {
+			if rule.m == MBitcoin {
+				// Strip bitcoin-cash mentions before testing plain bitcoin.
+				stripped := methodRules[0].re.ReplaceAllString(norm, " ")
+				if !rule.re.MatchString(stripped) {
+					continue
+				}
+			}
+			out = append(out, rule.m)
+		}
+	}
+	return out
+}
+
+// Money is one extracted value mention: an amount in a denomination.
+type Money struct {
+	Amount   float64
+	Currency fx.Currency
+}
+
+var (
+	symbolValRe = regexp.MustCompile(`([$£€])\s?([0-9]+(?:\.[0-9]+)?)(k?)\b`)
+	cryptoValRe = regexp.MustCompile(`\b([0-9]*\.?[0-9]+)\s?(btc|bitcoin|eth|ethereum|ltc|litecoin|xmr|monero|bch)\b`)
+	fiatValRe   = regexp.MustCompile(`\b([0-9]+(?:\.[0-9]+)?)(k?)\s?(usd|dollars?|gbp|pounds?|eur|euros?|cad|aud|inr|jpy|yen)\b`)
+)
+
+// ExtractValues pulls every quoted value with its denomination out of the
+// obligation text, per the paper's §4.5 extraction: currency symbols
+// ("$100", "£20"), fiat codes ("100 usd", "20k inr"), and crypto amounts
+// ("0.05 btc"). Amounts suffixed with "k" are scaled by 1000.
+//
+// Symbol-prefixed amounts take precedence: "$100 btc" means one hundred
+// dollars' worth of Bitcoin, so the trailing "100 btc" crypto reading is
+// suppressed. Mentions are returned in order of appearance.
+func ExtractValues(text string) []Money {
+	norm := Normalize(text)
+	type mention struct {
+		start int
+		money Money
+	}
+	var mentions []mention
+	taken := make([]bool, len(norm))
+	claim := func(lo, hi int) bool {
+		for i := lo; i < hi && i < len(taken); i++ {
+			if taken[i] {
+				return false
+			}
+		}
+		for i := lo; i < hi && i < len(taken); i++ {
+			taken[i] = true
+		}
+		return true
+	}
+
+	for _, idx := range symbolValRe.FindAllStringSubmatchIndex(norm, -1) {
+		amtStr := norm[idx[4]:idx[5]]
+		amt, err := strconv.ParseFloat(amtStr, 64)
+		if err != nil || !claim(idx[0], idx[1]) {
+			continue
+		}
+		if idx[6] >= 0 && norm[idx[6]:idx[7]] == "k" {
+			amt *= 1000
+		}
+		cur := fx.USD
+		switch norm[idx[2]:idx[3]] {
+		case "£":
+			cur = fx.GBP
+		case "€":
+			cur = fx.EUR
+		}
+		mentions = append(mentions, mention{idx[0], Money{Amount: amt, Currency: cur}})
+	}
+	for _, idx := range cryptoValRe.FindAllStringSubmatchIndex(norm, -1) {
+		amt, err := strconv.ParseFloat(norm[idx[2]:idx[3]], 64)
+		if err != nil || !claim(idx[0], idx[1]) {
+			continue
+		}
+		if cur, ok := fx.ParseCurrency(norm[idx[4]:idx[5]]); ok {
+			mentions = append(mentions, mention{idx[0], Money{Amount: amt, Currency: cur}})
+		}
+	}
+	for _, idx := range fiatValRe.FindAllStringSubmatchIndex(norm, -1) {
+		amt, err := strconv.ParseFloat(norm[idx[2]:idx[3]], 64)
+		if err != nil || !claim(idx[0], idx[1]) {
+			continue
+		}
+		if idx[4] >= 0 && norm[idx[4]:idx[5]] == "k" {
+			amt *= 1000
+		}
+		if cur, ok := fx.ParseCurrency(norm[idx[6]:idx[7]]); ok {
+			mentions = append(mentions, mention{idx[0], Money{Amount: amt, Currency: cur}})
+		}
+	}
+	sort.SliceStable(mentions, func(i, j int) bool { return mentions[i].start < mentions[j].start })
+	out := make([]Money, 0, len(mentions))
+	for _, m := range mentions {
+		out = append(out, m.money)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// TokenClassify is the exact-token baseline classifier used by the
+// categoriser ablation (DESIGN.md §6): instead of regex rules it matches
+// whole content tokens against a flat keyword → category index. Faster but
+// blind to multi-word phrases ("bitcoin cash", "vouch copy").
+func TokenClassify(text string) []Category {
+	seen := map[Category]bool{}
+	var out []Category
+	for _, tok := range ContentTokens(text) {
+		if cat, ok := tokenIndex[tok]; ok && !seen[cat] {
+			seen[cat] = true
+			out = append(out, cat)
+		}
+	}
+	if len(out) == 0 {
+		return []Category{Uncategorised}
+	}
+	return out
+}
+
+var tokenIndex = map[string]Category{
+	"exchange": CurrencyExchange, "exchanging": CurrencyExchange, "swap": CurrencyExchange,
+	"payment": Payments, "sending": Payments, "transfer": Payments,
+	"giftcard": Giftcard, "giftcards": Giftcard, "coupon": Giftcard, "voucher": Giftcard,
+	"account": Accounts, "accounts": Accounts, "license": Accounts, "netflix": Accounts,
+	"fortnite": Gaming, "minecraft": Gaming, "steam": Gaming, "vbucks": Gaming,
+	"bytes": HackforumsGoods, "hackforums": HackforumsGoods,
+	"hacking": Hacking, "rat": Hacking, "botnet": Hacking, "python": Hacking, "coding": Hacking,
+	"instagram": SocialBoost, "youtube": SocialBoost, "followers": SocialBoost,
+	"tutorial": Tutorials, "guide": Tutorials, "ebook": Tutorials, "method": Tutorials,
+	"bot": Tools, "tool": Tools, "software": Tools,
+	"logo": Multimedia, "design": Multimedia, "banner": Multimedia,
+	"ewhoring": EWhoring,
+	"shipping": Shipping, "delivery": Shipping,
+	"essay": Academic, "homework": Academic, "dissertation": Academic,
+	"marketing": Marketing, "seo": Marketing,
+	"contest": Contest, "giveaway": Contest,
+}

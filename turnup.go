@@ -1,0 +1,132 @@
+// Package turnup reproduces "Turning Up the Dial: the Evolution of a
+// Cybercrime Market Through SET-UP, STABLE, and COVID-19 Eras" (Vu et al.,
+// ACM IMC 2020) as a Go library.
+//
+// The proprietary CrimeBB dataset is replaced by a calibrated agent-based
+// marketplace simulator (see DESIGN.md §2); everything downstream — the
+// contract state machine, text mining, social-network measures, latent
+// class models, cold-start clustering, and zero-inflated Poisson
+// regressions — is implemented from scratch on the Go standard library.
+//
+// This package is the public facade: generate (or load) a dataset and run
+// any or all of the paper's analyses.
+//
+//	d, err := turnup.Generate(turnup.Config{Seed: 1, Scale: 0.1})
+//	...
+//	res, err := turnup.Run(d, turnup.RunOptions{Seed: 1})
+//	fmt.Print(turnup.RenderAll(res))
+package turnup
+
+import (
+	"turnup/internal/analysis"
+	"turnup/internal/dataset"
+	"turnup/internal/market"
+	"turnup/internal/report"
+	"turnup/internal/rng"
+)
+
+// Config controls dataset generation. Scale 1.0 reproduces the paper-sized
+// corpus (~190k contracts, ~27k users over 25 months); smaller scales
+// shrink every volume target proportionally.
+type Config = market.Config
+
+// Dataset is the study corpus: users, threads, posts, contracts, and the
+// synthetic ledger.
+type Dataset = dataset.Dataset
+
+// Truth is the simulator's ground truth (never consumed by the analyses).
+type Truth = market.Truth
+
+// Results bundles every reproduced table and figure.
+type Results = analysis.Suite
+
+// Generate simulates a marketplace corpus.
+func Generate(cfg Config) (*Dataset, error) {
+	d, _, err := market.Generate(cfg)
+	return d, err
+}
+
+// GenerateWithTruth also returns the simulator's ground truth, for
+// calibration studies.
+func GenerateWithTruth(cfg Config) (*Dataset, *Truth, error) {
+	return market.Generate(cfg)
+}
+
+// Save writes the dataset (contracts.csv, users.csv) into dir.
+func Save(d *Dataset, dir string) error { return d.SaveDir(dir) }
+
+// Load reads a dataset previously written by Save. Loaded datasets carry
+// an empty ledger, so the §4.5 high-value audit reports chain-quoting
+// contracts as unverifiable.
+func Load(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// RunOptions selects which analyses Run performs.
+type RunOptions struct {
+	// Seed drives the stochastic analyses (clustering, latent classes).
+	Seed uint64
+	// LatentClassK is the number of behaviour classes (default 12, the
+	// paper's choice).
+	LatentClassK int
+	// SkipModels skips the expensive statistical models (Tables 6-10),
+	// keeping only the descriptive analyses.
+	SkipModels bool
+}
+
+// Run executes the full analysis pipeline over the dataset.
+func Run(d *Dataset, opts RunOptions) (*Results, error) {
+	return analysis.RunSuite(d, analysis.SuiteOptions{
+		LatentClassK: opts.LatentClassK,
+		SkipModels:   opts.SkipModels,
+	}, rng.New(opts.Seed))
+}
+
+// RenderAll renders every computed table and figure as text.
+func RenderAll(r *Results) string {
+	out := report.Taxonomy(r.Taxonomy) + "\n" +
+		report.Visibility(r.Visibility) + "\n" +
+		report.Growth(r.Growth) + "\n" +
+		report.PublicTrend(r.PublicTrend) + "\n" +
+		report.TypeShares(r.TypeShares) + "\n" +
+		report.CompletionTimes(r.CompletionTimes) + "\n" +
+		report.Concentration(r.Concentration) + "\n" +
+		report.KeyShares(r.KeyShares) + "\n" +
+		report.DegreeDist("created", r.DegreesCreated) +
+		report.DegreeDist("completed", r.DegreesDone) + "\n" +
+		report.DegreeGrowth(r.DegreeGrowth) + "\n" +
+		report.ProductTrend(r.Products) + "\n" +
+		report.PaymentTrend(r.PaymentTrend) + "\n" +
+		report.ValueTrend(r.ValueTrend) + "\n" +
+		report.Activities(r.Activities, 15) + "\n" +
+		report.Payments(r.Payments, 10) + "\n" +
+		report.Values(r.Values, 10) + "\n" +
+		report.Participation(r.Participation) + "\n" +
+		report.Disputes(r.Disputes) + "\n" +
+		report.Centralisation(r.Centralisation) + "\n" +
+		report.Cohorts(r.Cohorts) + "\n" +
+		report.Corpus(r.Corpus) + "\n" +
+		report.Stimulus(r.Stimulus) + "\n"
+	if r.LTM != nil {
+		out += report.LatentClasses(r.LTM) + "\n" +
+			report.ClassActivity(r.LTM, true) + "\n" +
+			report.ClassActivity(r.LTM, false) + "\n" +
+			report.Flows(r.Flows, r.LTM) + "\n"
+	}
+	if r.ColdStart != nil {
+		out += report.ColdStart(r.ColdStart) + "\n"
+	}
+	if r.ZIPAll != nil {
+		out += report.ZIPModels("Table 9: Zero-Inflated Poisson (all users)", r.ZIPAll) + "\n"
+	}
+	if r.ZIPSub != nil {
+		out += report.ZIPModels("Table 10: Zero-Inflated Poisson (first-time vs existing)", r.ZIPSub) + "\n"
+	}
+	return out
+}
+
+// Compare builds the paper-vs-measured comparison rows for EXPERIMENTS.md.
+func Compare(r *Results) []report.Comparison { return report.Compare(r) }
+
+// RenderComparisons renders comparison rows as a markdown table.
+func RenderComparisons(rows []report.Comparison) string {
+	return report.RenderComparisons(rows)
+}

@@ -1,0 +1,118 @@
+package turnup
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce sync.Once
+	apiData *Dataset
+	apiRes  *Results
+)
+
+func apiSuite(t *testing.T) (*Dataset, *Results) {
+	t.Helper()
+	apiOnce.Do(func() {
+		d, err := Generate(Config{Seed: 5, Scale: 0.04})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(d, RunOptions{Seed: 5, LatentClassK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apiData, apiRes = d, res
+	})
+	return apiData, apiRes
+}
+
+func TestGenerateAndRun(t *testing.T) {
+	d, res := apiSuite(t)
+	if len(d.Contracts) == 0 || len(d.Users) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if res.Taxonomy.Total != len(d.Contracts) {
+		t.Errorf("taxonomy total %d", res.Taxonomy.Total)
+	}
+	if res.LTM == nil || res.ColdStart == nil || res.ZIPAll == nil || res.ZIPSub == nil {
+		t.Fatal("model results missing")
+	}
+}
+
+func TestRunSkipModels(t *testing.T) {
+	d, _ := apiSuite(t)
+	res, err := Run(d, RunOptions{Seed: 5, SkipModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LTM != nil || res.ColdStart != nil {
+		t.Error("SkipModels still ran the models")
+	}
+	if res.Taxonomy.Total == 0 {
+		t.Error("descriptive analyses missing")
+	}
+}
+
+func TestRenderAllMentionsEveryArtefact(t *testing.T) {
+	_, res := apiSuite(t)
+	out := RenderAll(res)
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8", "Table 9", "Table 10",
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
+		"SALE", "Bitcoin", "currency exchange",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll output missing %q", want)
+		}
+	}
+}
+
+func TestCompareProducesRows(t *testing.T) {
+	_, res := apiSuite(t)
+	rows := Compare(res)
+	if len(rows) < 40 {
+		t.Fatalf("only %d comparison rows", len(rows))
+	}
+	held := 0
+	for _, r := range rows {
+		if r.Held {
+			held++
+		}
+	}
+	// At the tiny API-test scale a few noisy claims may flip; the bulk
+	// must hold.
+	if float64(held) < 0.8*float64(len(rows)) {
+		t.Errorf("only %d/%d shape claims held", held, len(rows))
+	}
+	md := RenderComparisons(rows)
+	if !strings.Contains(md, "| ID | Metric |") {
+		t.Error("markdown header missing")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, _ := apiSuite(t)
+	dir := t.TempDir()
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Contracts) != len(d.Contracts) || len(loaded.Users) != len(d.Users) {
+		t.Errorf("round trip: %d contracts, %d users", len(loaded.Contracts), len(loaded.Users))
+	}
+	// A loaded dataset supports the descriptive pipeline.
+	res, err := Run(loaded, RunOptions{Seed: 1, SkipModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Taxonomy.Total != len(d.Contracts) {
+		t.Errorf("loaded taxonomy total %d", res.Taxonomy.Total)
+	}
+}
