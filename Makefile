@@ -1,0 +1,29 @@
+# Verification tiers and perf tooling (see ROADMAP.md).
+#
+#   make tier1           # the seed contract: build + tests
+#   make tier2           # vet + tests under the race detector
+#   make bench-baseline  # 1x bench smoke → BENCH_baseline.json snapshot
+#   make check           # tier1 + tier2
+
+.PHONY: tier1 tier2 check bench-baseline
+
+tier1:
+	go build ./... && go test ./...
+
+tier2:
+	go vet ./... && go test -race ./...
+
+check: tier1 tier2
+
+# Runs every benchmark exactly once and snapshots ns/op per stage into
+# BENCH_baseline.json. Future perf PRs diff against this file; regenerate it
+# (on the same machine class) whenever a hot path intentionally changes.
+bench-baseline:
+	go test -run '^$$' -bench . -benchtime 1x . \
+	| awk 'BEGIN { print "{"; first = 1 } \
+	  /^Benchmark/ { name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    if (!first) printf(",\n"); first = 0; \
+	    printf("  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}", name, $$2, $$3) } \
+	  END { print "\n}" }' \
+	> BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"

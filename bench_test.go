@@ -15,6 +15,7 @@ import (
 	"turnup/internal/analysis"
 	"turnup/internal/forum"
 	"turnup/internal/market"
+	"turnup/internal/obs"
 	"turnup/internal/rng"
 	"turnup/internal/stats"
 	"turnup/internal/textmine"
@@ -333,6 +334,35 @@ func BenchmarkHighValueAudit(b *testing.B) {
 			b.Skip("no high-value contracts at bench scale")
 		}
 	}
+}
+
+// ---- Observability overhead (internal/obs) ----
+//
+// The zero-cost-when-disabled contract: BenchmarkSuiteDescriptive (nil
+// tracer — the default every caller gets) must match the pre-obs baseline
+// within noise, while BenchmarkSuiteDescriptiveTraced shows the cost of
+// full span + metrics capture.
+
+func benchRunSuite(b *testing.B, opts analysis.SuiteOptions) {
+	d := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.RunSuite(d, opts, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteDescriptive(b *testing.B) {
+	benchRunSuite(b, analysis.SuiteOptions{SkipModels: true})
+}
+
+func BenchmarkSuiteDescriptiveTraced(b *testing.B) {
+	benchRunSuite(b, analysis.SuiteOptions{
+		SkipModels: true,
+		Trace:      obs.NewTracer("bench"),
+		Metrics:    obs.NewRegistry(),
+	})
 }
 
 // ---- Ablations (DESIGN.md §6) ----

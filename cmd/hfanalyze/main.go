@@ -6,18 +6,22 @@
 //	hfanalyze -data ./data                 # analyse a saved dataset
 //	hfanalyze -seed 1 -scale 0.1           # generate in memory and analyse
 //	hfanalyze -seed 1 -scale 0.1 -models=false   # descriptive analyses only
+//	hfanalyze -scale 0.05 -trace -metrics        # span tree + metric dump
+//	hfanalyze -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Note: datasets loaded from CSV carry no ledger, so the §4.5 high-value
-// audit reports every high-value contract as unverifiable; generate in
-// memory (or via the library) for the full audit.
+// audit reports every high-value contract in an explicit "unverifiable"
+// bucket; generate in memory (or via the library) for the full audit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"turnup"
+	"turnup/internal/obs"
 )
 
 func main() {
@@ -28,25 +32,64 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "volume scale for in-memory generation")
 	models := flag.Bool("models", true, "fit the statistical models (Tables 6-10); slow at large scales")
 	k := flag.Int("k", 12, "latent class count for the Table 6 model")
+	trace := flag.Bool("trace", false, "print the pipeline span tree on stderr")
+	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format on stderr")
+	progress := flag.Bool("progress", false, "report analysis stage progress on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	var tracer *turnup.Tracer
+	if *trace {
+		tracer = turnup.NewTracer("hfanalyze")
+	}
+	var reg *turnup.Registry
+	if *metrics {
+		reg = turnup.NewRegistry()
+	}
 
 	var d *turnup.Dataset
 	var err error
 	if *data != "" {
 		d, err = turnup.Load(*data)
 	} else {
-		d, err = turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale})
+		d, err = turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := turnup.Run(d, turnup.RunOptions{
+	opts := turnup.RunOptions{
 		Seed:         *seed,
 		LatentClassK: *k,
 		SkipModels:   !*models,
-	})
+		Trace:        tracer,
+		Metrics:      reg,
+	}
+	if *progress {
+		opts.Progress = func(stage string) { fmt.Fprintf(os.Stderr, "hfanalyze: stage %s\n", stage) }
+	}
+	res, err := turnup.Run(d, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(turnup.RenderAll(res))
+
+	if tracer != nil {
+		obs.WriteText(os.Stderr, tracer.Finish())
+	}
+	if *metrics {
+		obs.WritePrometheus(os.Stderr, reg)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	hfgen -seed 1 -scale 1.0 -out ./data
+//	hfgen -scale 0.1 -trace -metrics            # span tree + metric dump
+//	hfgen -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 
 	"turnup"
+	"turnup/internal/obs"
 	"turnup/internal/report"
 )
 
@@ -22,9 +25,29 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed (same seed → identical corpus)")
 	scale := flag.Float64("scale", 1.0, "volume scale; 1.0 reproduces the paper-sized corpus (~190k contracts)")
 	out := flag.String("out", "data", "output directory")
+	trace := flag.Bool("trace", false, "print the simulation span tree on stderr")
+	metrics := flag.Bool("metrics", false, "dump generation metrics in Prometheus text format on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale})
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	var tracer *turnup.Tracer
+	if *trace {
+		tracer = turnup.NewTracer("hfgen")
+	}
+	var reg *turnup.Registry
+	if *metrics {
+		reg = turnup.NewRegistry()
+	}
+
+	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,4 +60,16 @@ func main() {
 		*out, report.Count(s.Contracts), report.Count(s.Completed), report.Count(s.Public),
 		report.Count(s.Disputed), report.Count(s.Users), report.Count(s.Threads),
 		report.Count(s.Posts), report.Count(s.LedgerTxs))
+
+	if tracer != nil {
+		obs.WriteText(os.Stderr, tracer.Finish())
+	}
+	if *metrics {
+		obs.WritePrometheus(os.Stderr, reg)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

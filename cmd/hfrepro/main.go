@@ -3,6 +3,13 @@
 // EXPERIMENTS.md records. With -out it also writes the comparison as
 // markdown and the full rendered tables as text.
 //
+// Observability (see README "Profiling & tracing a run"):
+//
+//	hfrepro -seed 1 -scale 0.05 -trace            # span tree + results/trace.json
+//	hfrepro -metrics                              # Prometheus dump on stdout
+//	hfrepro -progress                             # stage progress on stderr
+//	hfrepro -cpuprofile cpu.pprof -memprofile mem.pprof
+//
 // Usage:
 //
 //	hfrepro -seed 1 -scale 1.0 -out results/
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"turnup"
+	"turnup/internal/obs"
 )
 
 func main() {
@@ -26,10 +34,32 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "volume scale (1.0 = paper-sized corpus)")
 	out := flag.String("out", "", "optional output directory for comparison.md and tables.txt")
 	k := flag.Int("k", 12, "latent class count")
+	trace := flag.Bool("trace", false, "print the pipeline span tree and write results/trace.json")
+	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format")
+	progress := flag.Bool("progress", false, "report analysis stage progress on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+
+	var tracer *turnup.Tracer
+	if *trace {
+		tracer = turnup.NewTracer("hfrepro")
+	}
+	var reg *turnup.Registry
+	if *metrics || *trace {
+		reg = turnup.NewRegistry()
+	}
+
 	start := time.Now()
-	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale})
+	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,8 +67,12 @@ func main() {
 	fmt.Printf("generated %d contracts / %d users / %d posts in %v\n",
 		s.Contracts, s.Users, s.Posts, time.Since(start).Round(time.Millisecond))
 
+	opts := turnup.RunOptions{Seed: *seed, LatentClassK: *k, Trace: tracer, Metrics: reg}
+	if *progress {
+		opts.Progress = func(stage string) { fmt.Fprintf(os.Stderr, "hfrepro: stage %s\n", stage) }
+	}
 	t0 := time.Now()
-	res, err := turnup.Run(d, turnup.RunOptions{Seed: *seed, LatentClassK: *k})
+	res, err := turnup.Run(d, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,5 +93,40 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s/comparison.md and %s/tables.txt\n", *out, *out)
+	}
+
+	if tracer != nil {
+		root := tracer.Finish()
+		fmt.Println()
+		obs.WriteText(os.Stdout, root)
+		traceDir := *out
+		if traceDir == "" {
+			traceDir = "results"
+		}
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(traceDir, "trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteJSON(f, root); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *metrics {
+		fmt.Println()
+		obs.WritePrometheus(os.Stdout, reg)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

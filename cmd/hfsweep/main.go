@@ -3,9 +3,14 @@
 // every shape claim, the fraction of seeds on which it held. Claims that
 // hold only on a lucky seed stand out immediately.
 //
+// Each configuration's wall time and memory figures are recorded in an obs
+// registry and reported alongside the claim table, so sweep runs double as
+// perf baselines; -metrics dumps the raw registry.
+//
 // Usage:
 //
 //	hfsweep -seeds 10 -scale 0.05
+//	hfsweep -seeds 5 -metrics -cpuprofile cpu.pprof
 package main
 
 import (
@@ -13,10 +18,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"turnup"
+	"turnup/internal/obs"
 )
 
 func main() {
@@ -26,7 +34,19 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "volume scale per run")
 	models := flag.Bool("models", true, "include the statistical models (slower)")
 	k := flag.Int("k", 8, "latent class count (smaller than 12 keeps sweeps fast)")
+	metrics := flag.Bool("metrics", false, "dump the sweep's obs registry in Prometheus text format")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	reg := obs.NewRegistry()
 
 	type tally struct {
 		id, metric string
@@ -36,16 +56,29 @@ func main() {
 	var order []string
 
 	for seed := 1; seed <= *seeds; seed++ {
-		d, err := turnup.Generate(turnup.Config{Seed: uint64(seed), Scale: *scale})
+		start := time.Now()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+
+		d, err := turnup.Generate(turnup.Config{Seed: uint64(seed), Scale: *scale, Metrics: reg})
 		if err != nil {
 			log.Fatalf("seed %d: %v", seed, err)
 		}
 		res, err := turnup.Run(d, turnup.RunOptions{
-			Seed: uint64(seed), LatentClassK: *k, SkipModels: !*models,
+			Seed: uint64(seed), LatentClassK: *k, SkipModels: !*models, Metrics: reg,
 		})
 		if err != nil {
 			log.Fatalf("seed %d: %v", seed, err)
 		}
+
+		wall := time.Since(start).Seconds()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		reg.Gauge(fmt.Sprintf("sweep_wall_seconds{seed=%q}", itoa(seed))).Set(wall)
+		reg.Gauge(fmt.Sprintf("sweep_alloc_bytes{seed=%q}", itoa(seed))).Set(float64(m1.TotalAlloc - m0.TotalAlloc))
+		reg.Gauge(fmt.Sprintf("sweep_peak_rss_bytes{seed=%q}", itoa(seed))).Set(float64(m1.Sys))
+		reg.Histogram("sweep_wall_seconds_all").Observe(wall)
+
 		for _, row := range turnup.Compare(res) {
 			key := row.ID + " | " + row.Metric
 			t, ok := byKey[key]
@@ -59,7 +92,7 @@ func main() {
 				t.held++
 			}
 		}
-		fmt.Printf("seed %d done\n", seed)
+		fmt.Printf("seed %d done in %.2fs\n", seed, wall)
 	}
 
 	// Shakiest claims first.
@@ -74,4 +107,30 @@ func main() {
 		fmt.Fprintf(w, "%d/%d\t%s\t%s\n", t.held, t.runs, t.id, t.metric)
 	}
 	w.Flush()
+
+	// Per-configuration perf columns, read back from the obs registry so
+	// the table and the -metrics dump can never disagree.
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\nSEED\tWALL\tALLOC\tPEAK-SYS\n")
+	for seed := 1; seed <= *seeds; seed++ {
+		wall := reg.Gauge(fmt.Sprintf("sweep_wall_seconds{seed=%q}", itoa(seed))).Value()
+		alloc := reg.Gauge(fmt.Sprintf("sweep_alloc_bytes{seed=%q}", itoa(seed))).Value()
+		rss := reg.Gauge(fmt.Sprintf("sweep_peak_rss_bytes{seed=%q}", itoa(seed))).Value()
+		fmt.Fprintf(w, "%d\t%.2fs\t%.1fMiB\t%.1fMiB\n", seed, wall, alloc/(1<<20), rss/(1<<20))
+	}
+	h := reg.Histogram("sweep_wall_seconds_all")
+	fmt.Fprintf(w, "p50/p90\t%.2fs/%.2fs\t\t\n", h.Quantile(0.5), h.Quantile(0.9))
+	w.Flush()
+
+	if *metrics {
+		fmt.Println()
+		obs.WritePrometheus(os.Stdout, reg)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -2,12 +2,15 @@ package analysis
 
 import (
 	"fmt"
+	"time"
 
 	"turnup/internal/dataset"
+	"turnup/internal/obs"
 	"turnup/internal/rng"
 )
 
-// SuiteOptions selects which analyses RunSuite performs.
+// SuiteOptions selects which analyses RunSuite performs and how the run is
+// observed.
 type SuiteOptions struct {
 	// LatentClassK is the number of behaviour classes (default 12, the
 	// paper's choice).
@@ -15,6 +18,17 @@ type SuiteOptions struct {
 	// SkipModels skips the statistical models (Tables 6-10), keeping only
 	// the descriptive analyses.
 	SkipModels bool
+
+	// Trace, when non-nil, records one span per Suite stage (wall time and
+	// allocation deltas). The nil default costs nothing.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives an analysis_stage_seconds histogram,
+	// an analysis_stages_total counter, and the §4.5 audit counters
+	// (including audit_unverifiable_total for ledger-less datasets).
+	Metrics *obs.Registry
+	// Progress, when non-nil, is called with each stage name just before
+	// the stage runs — the hook hfrepro uses for stderr progress lines.
+	Progress func(stage string)
 }
 
 // Suite bundles every reproduced table and figure.
@@ -52,56 +66,125 @@ type Suite struct {
 	ZIPSub    []ZIPEraResult   // Table 10
 }
 
+// StageNames lists every Suite stage in execution order, model stages last.
+// Exporters and progress consumers can rely on this order.
+var StageNames = []string{
+	"Taxonomy", "Visibility", "Growth", "PublicTrend", "TypeShares",
+	"CompletionTimes", "Concentration", "KeyShares", "DegreesCreated",
+	"DegreesDone", "DegreeGrowth", "Products", "PaymentTrend", "Activities",
+	"Payments", "ChangePoints", "Participation", "Disputes",
+	"Centralisation", "Cohorts", "Corpus", "Stimulus", "Values",
+	"ValueTrend",
+	"LatentClasses", "Flows", "ColdStart", "ZIPAll", "ZIPSub",
+}
+
+// stage runs one named analysis stage under the options' observability
+// hooks: a progress callback, a trace span, and stage-timing metrics.
+func (o *SuiteOptions) stage(name string, fn func() error) error {
+	if o.Progress != nil {
+		o.Progress(name)
+	}
+	sp := o.Trace.Start("analysis/" + name)
+	start := time.Time{}
+	if o.Metrics != nil {
+		start = time.Now()
+	}
+	err := fn()
+	sp.End()
+	if o.Metrics != nil {
+		o.Metrics.Histogram("analysis_stage_seconds").Observe(time.Since(start).Seconds())
+		o.Metrics.Counter("analysis_stages_total").Inc()
+	}
+	return err
+}
+
+// run is the infallible-stage shorthand.
+func (o *SuiteOptions) run(name string, fn func()) {
+	_ = o.stage(name, func() error { fn(); return nil })
+}
+
 // RunSuite executes the full analysis pipeline over the dataset.
 func RunSuite(d *dataset.Dataset, opts SuiteOptions, src *rng.Source) (*Suite, error) {
 	if opts.LatentClassK <= 0 {
 		opts.LatentClassK = 12
 	}
-	res := &Suite{
-		Taxonomy:        Taxonomy(d),
-		Visibility:      Visibility(d),
-		Growth:          Growth(d),
-		PublicTrend:     PublicTrend(d),
-		TypeShares:      TypeShareTrend(d),
-		CompletionTimes: CompletionTimeTrend(d),
-		Concentration:   Concentrate(d),
-		KeyShares:       KeyShares(d),
-		DegreesCreated:  DegreeDist(d.Contracts),
-		DegreesDone:     DegreeDist(d.Completed()),
-		DegreeGrowth:    DegreeGrowthTrend(d, false),
-		Products:        ProductTrends(d),
-		PaymentTrend:    PaymentTrends(d),
-		Activities:      Activities(d),
-		Payments:        PaymentMethods(d),
-		ChangePoints:    ChangePoints(d, 3),
-		Participation:   Participation(d),
-		Disputes:        Disputes(d),
-		Centralisation:  CentralisationTrend(d),
-		Cohorts:         Cohorts(d),
-		Corpus:          Corpus(d),
-		Stimulus:        StimulusTest(d),
-	}
-	res.Values = Values(d)
-	res.ValueTrend = ValueTrends(d, res.Values)
+	res := &Suite{}
+	suiteSpan := opts.Trace.Start("analysis/RunSuite")
+	defer suiteSpan.End()
+
+	opts.run("Taxonomy", func() { res.Taxonomy = Taxonomy(d) })
+	opts.run("Visibility", func() { res.Visibility = Visibility(d) })
+	opts.run("Growth", func() { res.Growth = Growth(d) })
+	opts.run("PublicTrend", func() { res.PublicTrend = PublicTrend(d) })
+	opts.run("TypeShares", func() { res.TypeShares = TypeShareTrend(d) })
+	opts.run("CompletionTimes", func() { res.CompletionTimes = CompletionTimeTrend(d) })
+	opts.run("Concentration", func() { res.Concentration = Concentrate(d) })
+	opts.run("KeyShares", func() { res.KeyShares = KeyShares(d) })
+	opts.run("DegreesCreated", func() { res.DegreesCreated = DegreeDist(d.Contracts) })
+	opts.run("DegreesDone", func() { res.DegreesDone = DegreeDist(d.Completed()) })
+	opts.run("DegreeGrowth", func() { res.DegreeGrowth = DegreeGrowthTrend(d, false) })
+	opts.run("Products", func() { res.Products = ProductTrends(d) })
+	opts.run("PaymentTrend", func() { res.PaymentTrend = PaymentTrends(d) })
+	opts.run("Activities", func() { res.Activities = Activities(d) })
+	opts.run("Payments", func() { res.Payments = PaymentMethods(d) })
+	opts.run("ChangePoints", func() { res.ChangePoints = ChangePoints(d, 3) })
+	opts.run("Participation", func() { res.Participation = Participation(d) })
+	opts.run("Disputes", func() { res.Disputes = Disputes(d) })
+	opts.run("Centralisation", func() { res.Centralisation = CentralisationTrend(d) })
+	opts.run("Cohorts", func() { res.Cohorts = Cohorts(d) })
+	opts.run("Corpus", func() { res.Corpus = Corpus(d) })
+	opts.run("Stimulus", func() { res.Stimulus = StimulusTest(d) })
+	opts.run("Values", func() {
+		res.Values = Values(d)
+		opts.Metrics.Counter("audit_high_value_total").Add(int64(res.Values.Audit.HighValue))
+		opts.Metrics.Counter("audit_confirmed_total").Add(int64(res.Values.Audit.Confirmed))
+		opts.Metrics.Counter("audit_revised_total").Add(int64(res.Values.Audit.Revised))
+		opts.Metrics.Counter("audit_unclear_total").Add(int64(res.Values.Audit.Unclear))
+		opts.Metrics.Counter("audit_unverifiable_total").Add(int64(res.Values.Audit.Unverifiable))
+	})
+	opts.run("ValueTrend", func() { res.ValueTrend = ValueTrends(d, res.Values) })
 	if opts.SkipModels {
 		return res, nil
 	}
-	ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src.Fork(1))
-	if err != nil {
-		return nil, fmt.Errorf("analysis: latent classes: %w", err)
+
+	if err := opts.stage("LatentClasses", func() error {
+		ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src.Fork(1))
+		if err != nil {
+			return fmt.Errorf("analysis: latent classes: %w", err)
+		}
+		res.LTM = ltm
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	res.LTM = ltm
-	res.Flows = Flows(d, ltm)
-	cs, err := ColdStart(d, src.Fork(2))
-	if err != nil {
-		return nil, fmt.Errorf("analysis: cold start: %w", err)
+	opts.run("Flows", func() { res.Flows = Flows(d, res.LTM) })
+	if err := opts.stage("ColdStart", func() error {
+		cs, err := ColdStart(d, src.Fork(2))
+		if err != nil {
+			return fmt.Errorf("analysis: cold start: %w", err)
+		}
+		res.ColdStart = cs
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	res.ColdStart = cs
-	if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
-		return nil, fmt.Errorf("analysis: ZIP (all users): %w", err)
+	if err := opts.stage("ZIPAll", func() error {
+		var err error
+		if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
+			return fmt.Errorf("analysis: ZIP (all users): %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
-		return nil, fmt.Errorf("analysis: ZIP (subgroups): %w", err)
+	if err := opts.stage("ZIPSub", func() error {
+		var err error
+		if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
+			return fmt.Errorf("analysis: ZIP (subgroups): %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

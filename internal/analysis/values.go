@@ -46,6 +46,12 @@ type AuditOutcome struct {
 	Confirmed int // ledger value matches the declaration
 	Revised   int // ledger value differs; contract value updated
 	Unclear   int // no evidence or no matching transaction
+	// Unverifiable counts high-value contracts that could not be audited at
+	// all because the dataset carries no ledger — the turnup.Load case,
+	// where CSV round-trips drop the chain evidence. Distinguishing this
+	// from Unclear stops ledger-less runs from silently reporting an audit
+	// of zeros.
+	Unverifiable int
 }
 
 // ValueReport bundles every §4.5 quantity.
@@ -88,6 +94,7 @@ func Values(d *dataset.Dataset) ValueReport {
 		PerContract: make(map[forum.ContractID]float64),
 		ByType:      make(map[forum.ContractType]TypeValueSummary),
 	}
+	ledgerEmpty := d.Ledger == nil || d.Ledger.Len() == 0
 	actAcc := map[textmine.Category]*ValueRow{}
 	methAcc := map[textmine.Method]*MethodValueRow{}
 	userValue := map[forum.UserID]float64{}
@@ -120,18 +127,28 @@ func Values(d *dataset.Dataset) ValueReport {
 		// (its post-audit maximum is $9,861).
 		if value > highValueThreshold {
 			r.Audit.HighValue++
-			switch verifyAgainstLedger(d.Ledger, c, value) {
-			case chain.Confirmed:
-				r.Audit.Confirmed++
-			case chain.Mismatch:
-				r.Audit.Revised++
-				v := d.Ledger.VerifyHash(c.TxHash, value, auditTolerance)
-				value = v.ActualUSD
-				mv, tv = value, value
-			default:
-				r.Audit.Unclear++
+			if ledgerEmpty {
+				// No ledger to audit against (loaded datasets): count the
+				// contract explicitly instead of letting it masquerade as
+				// an "unclear" audit of an empty chain.
+				r.Audit.Unverifiable++
 				if value > 10000 {
 					continue
+				}
+			} else {
+				switch verifyAgainstLedger(d.Ledger, c, value) {
+				case chain.Confirmed:
+					r.Audit.Confirmed++
+				case chain.Mismatch:
+					r.Audit.Revised++
+					v := d.Ledger.VerifyHash(c.TxHash, value, auditTolerance)
+					value = v.ActualUSD
+					mv, tv = value, value
+				default:
+					r.Audit.Unclear++
+					if value > 10000 {
+						continue
+					}
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
+	"turnup/internal/obs"
 )
 
 // Config controls a simulation run.
@@ -14,6 +15,14 @@ type Config struct {
 	// Scale multiplies all volume targets. 1.0 reproduces the paper-sized
 	// corpus (~190k contracts, ~27k users); tests run at 0.02–0.10.
 	Scale float64
+
+	// Trace, when non-nil, records one span per simulated era and month
+	// (wall time, allocation deltas, per-month volume attributes). The nil
+	// default costs nothing (see internal/obs).
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives market_contracts_total,
+	// market_users_total, and market_posts_total counters.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is a paper-scale run.

@@ -15,6 +15,7 @@ import (
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
 	"turnup/internal/fx"
+	"turnup/internal/obs"
 	"turnup/internal/rng"
 	"turnup/internal/textmine"
 )
@@ -104,16 +105,42 @@ func Generate(cfg Config) (*dataset.Dataset, *Truth, error) {
 	}
 	s.gen = newTextGen(src.Fork(101), s.fxTab)
 
+	genSpan := cfg.Trace.Start("market/generate")
+	var eraSpan *obs.Span
+	curEra := dataset.Era(-1)
 	for m := 0; m < dataset.NumMonths; m++ {
+		if e := dataset.EraOf(dataset.Month(m).Time().AddDate(0, 0, 14)); e != curEra {
+			eraSpan.End()
+			eraSpan = cfg.Trace.Start("era/" + e.String())
+			curEra = e
+		}
+		mSpan := cfg.Trace.Start("month/" + dataset.Month(m).String())
+		c0, p0, u0 := len(s.d.Contracts), len(s.d.Posts), len(s.agents)
 		s.spawnCohort(m)
 		s.rebuildActive(m)
 		s.emitPosts(m)
 		s.emitContracts(m)
+		dc, dp, du := len(s.d.Contracts)-c0, len(s.d.Posts)-p0, len(s.agents)-u0
+		mSpan.SetInt("contracts", dc)
+		mSpan.SetInt("posts", dp)
+		mSpan.SetInt("users", du)
+		mSpan.End()
+		cfg.Metrics.Counter("market_contracts_total").Add(int64(dc))
+		cfg.Metrics.Counter("market_posts_total").Add(int64(dp))
+		cfg.Metrics.Counter("market_users_total").Add(int64(du))
 	}
+	eraSpan.End()
+	fSpan := cfg.Trace.Start("finish/users+validate")
 	s.finishUsers()
 	if err := s.d.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("market: generated dataset invalid: %w", err)
 	}
+	fSpan.End()
+	genSpan.SetInt("contracts", len(s.d.Contracts))
+	genSpan.SetInt("users", len(s.d.Users))
+	genSpan.SetInt("posts", len(s.d.Posts))
+	genSpan.SetInt("ledger_txs", s.d.Ledger.Len())
+	genSpan.End()
 	return s.d, s.truth, nil
 }
 

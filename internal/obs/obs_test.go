@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTracer("root")
+	a := tr.Start("a")
+	a1 := tr.Start("a1")
+	a1.End()
+	a2 := tr.Start("a2")
+	a2.End()
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	root := tr.Finish()
+
+	if root.Name != "root" || len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	if root.Children[0] != a || root.Children[1] != b {
+		t.Fatal("children out of creation order")
+	}
+	if len(a.Children) != 2 || a.Children[0].Name != "a1" || a.Children[1].Name != "a2" {
+		t.Fatalf("a children = %v", a.Children)
+	}
+	if len(b.Children) != 0 {
+		t.Fatal("b should be a leaf")
+	}
+	for _, s := range []*Span{root, a, a1, a2, b} {
+		if !s.Ended() {
+			t.Errorf("span %s not ended", s.Name)
+		}
+		if s.Wall() < 0 {
+			t.Errorf("span %s negative wall time", s.Name)
+		}
+	}
+	if a.Wall() < a1.Wall()+a2.Wall()-time.Millisecond {
+		t.Errorf("parent wall %v shorter than children %v+%v", a.Wall(), a1.Wall(), a2.Wall())
+	}
+}
+
+func TestEndClosesOpenDescendants(t *testing.T) {
+	tr := NewTracer("root")
+	outer := tr.Start("outer")
+	inner := tr.Start("inner") // deliberately never ended directly
+	outer.End()
+	if !inner.Ended() {
+		t.Fatal("ending the outer span should close the open inner span")
+	}
+	next := tr.Start("next")
+	next.End()
+	root := tr.Finish()
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (outer, next)", len(root.Children))
+	}
+	if root.Children[1].Name != "next" {
+		t.Fatal("span after recovery attached to the wrong parent")
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	tr := NewTracer("root")
+	s := tr.Start("s")
+	s.SetAttr("k", "v1")
+	s.SetAttr("k", "v2") // overwrite
+	s.SetInt("n", 42)
+	s.End()
+	if len(s.Attrs) != 2 {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+	if s.Attrs[0] != (Attr{"k", "v2"}) || s.Attrs[1] != (Attr{"n", "42"}) {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// All of these must not panic.
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.End()
+	if s.Wall() != 0 || s.Ended() {
+		t.Fatal("nil span should report zero state")
+	}
+	if tr.Finish() != nil || tr.Root() != nil {
+		t.Fatal("nil tracer should finish to nil")
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("nil registry metrics should read zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+func TestTracerAllocationDeltas(t *testing.T) {
+	tr := NewTracer("root")
+	s := tr.Start("alloc")
+	sink = make([]byte, 1<<20)
+	s.End()
+	if s.AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= %d", s.AllocBytes, 1<<20)
+	}
+	if s.Mallocs < 1 {
+		t.Errorf("Mallocs = %d, want >= 1", s.Mallocs)
+	}
+}
+
+var sink []byte
+
+func TestWriteTextRendersTree(t *testing.T) {
+	tr := NewTracer("run")
+	g := tr.Start("generate")
+	tr.Start("month").End()
+	g.End()
+	root := tr.Finish()
+	var b strings.Builder
+	WriteText(&b, root)
+	out := b.String()
+	for _, want := range []string{"run", "generate", "month", "  generate", "    month"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text tree missing %q:\n%s", want, out)
+		}
+	}
+}

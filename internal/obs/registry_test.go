@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge, and one histogram
+// from many goroutines; run under -race this is the data-race check the
+// registry's concurrency contract promises.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("ops_total").Inc()
+				r.Gauge("last_worker").Set(float64(w))
+				r.Histogram("latency").Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("latency").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if g := r.Gauge("last_worker").Value(); g < 0 || g >= workers {
+		t.Errorf("gauge = %v out of range", g)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 0..100 inclusive: quantiles are exact order statistics.
+	for i := 0; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.25, 25}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	h2 := &Histogram{}
+	h2.Observe(0)
+	h2.Observe(10)
+	if got := h2.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if h.Count() != 101 || math.Abs(h.Sum()-5050) > 1e-9 || math.Abs(h.Mean()-50) > 1e-9 {
+		t.Errorf("count/sum/mean = %d/%v/%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("g").Set(3.5)
+	r.Histogram("h").Observe(7)
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	wantOrder := []string{"a_total", "b_total", "g", "h"}
+	for i, m := range snap {
+		if m.Name != wantOrder[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, m.Name, wantOrder[i])
+		}
+	}
+	if snap[3].Kind != "histogram" || snap[3].Count != 1 || snap[3].Value != 7 {
+		t.Errorf("histogram metric = %+v", snap[3])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("contracts_total").Add(12)
+	r.Gauge(`sweep_wall_seconds{seed="1"}`).Set(0.25)
+	r.Histogram("stage_seconds").Observe(1)
+	r.Histogram("stage_seconds").Observe(3)
+	var b strings.Builder
+	WritePrometheus(&b, r)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE contracts_total counter",
+		"contracts_total 12",
+		"# TYPE sweep_wall_seconds gauge",
+		`sweep_wall_seconds{seed="1"} 0.25`,
+		"# TYPE stage_seconds summary",
+		`stage_seconds{quantile="0.5"} 2`,
+		"stage_seconds_sum 4",
+		"stage_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+}

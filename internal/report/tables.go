@@ -144,6 +144,10 @@ func Values(r analysis.ValueReport, n int) string {
 	}
 	fmt.Fprintf(&b, "High-value audit (> $1,000): %d checked, %d confirmed, %d revised, %d unclear\n",
 		r.Audit.HighValue, r.Audit.Confirmed, r.Audit.Revised, r.Audit.Unclear)
+	if r.Audit.Unverifiable > 0 {
+		fmt.Fprintf(&b, "  %d unverifiable: dataset carries no ledger (loaded from CSV?), so the §4.5 audit could not run\n",
+			r.Audit.Unverifiable)
+	}
 	fmt.Fprintf(&b, "Extrapolated public+private lower bound: %s\n", USD(r.ExtrapolatedUSD))
 	fmt.Fprintf(&b, "Top 10%% of users hold %s of value; mean per user %s\n",
 		Pct(r.TopDecileShare), USD(r.MeanPerUserUSD))

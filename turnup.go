@@ -21,9 +21,24 @@ import (
 	"turnup/internal/analysis"
 	"turnup/internal/dataset"
 	"turnup/internal/market"
+	"turnup/internal/obs"
 	"turnup/internal/report"
 	"turnup/internal/rng"
 )
+
+// Tracer records a tree of nested pipeline spans (see internal/obs). Attach
+// one to Config.Trace and RunOptions.Trace to time a run; a nil Tracer is
+// free.
+type Tracer = obs.Tracer
+
+// Registry holds a run's counters, gauges, and histograms.
+type Registry = obs.Registry
+
+// NewTracer starts a tracer whose root span carries name.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Config controls dataset generation. Scale 1.0 reproduces the paper-sized
 // corpus (~190k contracts, ~27k users over 25 months); smaller scales
@@ -70,6 +85,14 @@ type RunOptions struct {
 	// SkipModels skips the expensive statistical models (Tables 6-10),
 	// keeping only the descriptive analyses.
 	SkipModels bool
+
+	// Trace, when non-nil, records one span per analysis stage.
+	Trace *Tracer
+	// Metrics, when non-nil, receives stage timings and audit counters.
+	Metrics *Registry
+	// Progress, when non-nil, is called with each stage name just before
+	// the stage runs — long Scale-1.0 runs use it for stderr progress.
+	Progress func(stage string)
 }
 
 // Run executes the full analysis pipeline over the dataset.
@@ -77,6 +100,9 @@ func Run(d *Dataset, opts RunOptions) (*Results, error) {
 	return analysis.RunSuite(d, analysis.SuiteOptions{
 		LatentClassK: opts.LatentClassK,
 		SkipModels:   opts.SkipModels,
+		Trace:        opts.Trace,
+		Metrics:      opts.Metrics,
+		Progress:     opts.Progress,
 	}, rng.New(opts.Seed))
 }
 
