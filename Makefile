@@ -3,9 +3,10 @@
 #   make tier1           # the seed contract: build + tests
 #   make tier2           # vet + tests under the race detector
 #   make bench-baseline  # 1x bench smoke → BENCH_baseline.json snapshot
+#   make bench-parallel  # sequential-vs-parallel suite → BENCH_parallel.json
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline
+.PHONY: tier1 tier2 check bench-baseline bench-parallel
 
 tier1:
 	go build ./... && go test ./...
@@ -27,3 +28,19 @@ bench-baseline:
 	  END { print "\n}" }' \
 	> BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
+
+# Records the full suite (models, K=6, Scale 0.1) pinned to one worker vs
+# the default pool, plus the descriptive pair at bench scale, into
+# BENCH_parallel.json next to BENCH_baseline.json. The gomaxprocs field
+# qualifies the numbers: on one core the pairs coincide within noise.
+bench-parallel:
+	go test -run '^$$' -benchtime 3x . \
+	  -bench 'SuiteScale10|SuiteDescriptive(Sequential)?$$' \
+	| awk 'BEGIN { print "{"; first = 1 } \
+	  /^Benchmark/ { name = $$1; procs = 1; \
+	    if (match(name, /-[0-9]+$$/)) { procs = substr(name, RSTART + 1); sub(/-[0-9]+$$/, "", name) } \
+	    if (!first) printf(",\n"); first = 0; \
+	    printf("  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"gomaxprocs\": %s}", name, $$2, $$3, procs) } \
+	  END { print "\n}" }' \
+	> BENCH_parallel.json
+	@echo "wrote BENCH_parallel.json"

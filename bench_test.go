@@ -8,6 +8,7 @@
 package turnup
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -363,6 +364,56 @@ func BenchmarkSuiteDescriptiveTraced(b *testing.B) {
 		Trace:      obs.NewTracer("bench"),
 		Metrics:    obs.NewRegistry(),
 	})
+}
+
+// ---- Parallel scheduler (sequential vs worker-pool suite) ----
+//
+// The bench-parallel Makefile target records this pair next to
+// BENCH_baseline.json: the same full suite (models included, K=6) over a
+// Scale-0.1 corpus, first pinned to one worker and then with the default
+// pool. On a multi-core machine the WorkersMax run should be measurably
+// faster; on one core the two coincide within noise. Note that
+// BenchmarkSuiteDescriptive above already exercises the parallel default
+// (Workers unset → GOMAXPROCS); BenchmarkSuiteDescriptiveSequential is
+// its Workers=1 counterpart at bench scale.
+
+func BenchmarkSuiteDescriptiveSequential(b *testing.B) {
+	benchRunSuite(b, analysis.SuiteOptions{SkipModels: true, Workers: 1})
+}
+
+var (
+	parallelOnce sync.Once
+	parallelData *Dataset
+)
+
+func parallelCorpus(b *testing.B) *Dataset {
+	b.Helper()
+	parallelOnce.Do(func() {
+		d, _, err := market.Generate(market.Config{Seed: 99, Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelData = d
+	})
+	return parallelData
+}
+
+func benchSuiteWorkers(b *testing.B, workers int) {
+	d := parallelCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.RunSuite(d, analysis.SuiteOptions{
+			LatentClassK: 6, Workers: workers,
+		}, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteScale10Workers1(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+func BenchmarkSuiteScale10WorkersMax(b *testing.B) {
+	benchSuiteWorkers(b, runtime.GOMAXPROCS(0))
 }
 
 // ---- Ablations (DESIGN.md §6) ----

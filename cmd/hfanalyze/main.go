@@ -6,8 +6,14 @@
 //	hfanalyze -data ./data                 # analyse a saved dataset
 //	hfanalyze -seed 1 -scale 0.1           # generate in memory and analyse
 //	hfanalyze -seed 1 -scale 0.1 -models=false   # descriptive analyses only
+//	hfanalyze -workers 8                         # stage-DAG scheduler width
+//	hfanalyze -stages Values,ValueTrend          # stage subset (+ deps)
+//	hfanalyze -sections values,value-trend       # render a section subset
 //	hfanalyze -scale 0.05 -trace -metrics        # span tree + metric dump
 //	hfanalyze -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// SIGINT cancels the run gracefully: in-flight stages drain and, with
+// -trace, the partial span tree is still flushed to stderr.
 //
 // Note: datasets loaded from CSV carry no ledger, so the §4.5 high-value
 // audit reports every high-value contract in an explicit "unverifiable"
@@ -15,10 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"turnup"
 	"turnup/internal/obs"
@@ -32,12 +42,18 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "volume scale for in-memory generation")
 	models := flag.Bool("models", true, "fit the statistical models (Tables 6-10); slow at large scales")
 	k := flag.Int("k", 12, "latent class count for the Table 6 model")
+	workers := flag.Int("workers", 0, "concurrent analysis stages (0 = GOMAXPROCS)")
+	stages := flag.String("stages", "", "comma-separated analysis stage subset; transitive deps are added (empty = all)")
+	sections := flag.String("sections", "", "comma-separated report sections to print (empty = all)")
 	trace := flag.Bool("trace", false, "print the pipeline span tree on stderr")
 	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format on stderr")
 	progress := flag.Bool("progress", false, "report analysis stage progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -54,32 +70,44 @@ func main() {
 	if *metrics {
 		reg = turnup.NewRegistry()
 	}
+	// fail flushes the partial span tree before exiting, so an interrupted
+	// run still yields its trace.
+	fail := func(err error) {
+		if tracer != nil {
+			obs.WriteText(os.Stderr, tracer.Finish())
+		}
+		log.Fatal(err)
+	}
 
 	var d *turnup.Dataset
 	var err error
 	if *data != "" {
 		d, err = turnup.Load(*data)
 	} else {
-		d, err = turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
+		d, err = turnup.GenerateCtx(ctx, turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	}
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	opts := turnup.RunOptions{
 		Seed:         *seed,
 		LatentClassK: *k,
 		SkipModels:   !*models,
+		Workers:      *workers,
+		Stages:       splitList(*stages),
 		Trace:        tracer,
 		Metrics:      reg,
 	}
 	if *progress {
 		opts.Progress = func(stage string) { fmt.Fprintf(os.Stderr, "hfanalyze: stage %s\n", stage) }
 	}
-	res, err := turnup.Run(d, opts)
+	res, err := turnup.RunCtx(ctx, d, opts)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
-	fmt.Print(turnup.RenderAll(res))
+	if err := turnup.Render(os.Stdout, res, splitList(*sections)...); err != nil {
+		fail(err)
+	}
 
 	if tracer != nil {
 		obs.WriteText(os.Stderr, tracer.Finish())
@@ -92,4 +120,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -6,13 +6,20 @@
 //	hfgen -seed 1 -scale 1.0 -out ./data
 //	hfgen -scale 0.1 -trace -metrics            # span tree + metric dump
 //	hfgen -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// SIGINT cancels a long generation gracefully (the simulator checks for
+// cancellation between simulated months); with -trace the partial span
+// tree is still flushed to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"turnup"
 	"turnup/internal/obs"
@@ -31,6 +38,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
 		if err != nil {
@@ -47,8 +57,11 @@ func main() {
 		reg = turnup.NewRegistry()
 	}
 
-	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
+	d, err := turnup.GenerateCtx(ctx, turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	if err != nil {
+		if tracer != nil {
+			obs.WriteText(os.Stderr, tracer.Finish())
+		}
 		log.Fatal(err)
 	}
 	if err := turnup.Save(d, *out); err != nil {

@@ -8,7 +8,12 @@
 //	hfrepro -seed 1 -scale 0.05 -trace            # span tree + results/trace.json
 //	hfrepro -metrics                              # Prometheus dump on stdout
 //	hfrepro -progress                             # stage progress on stderr
+//	hfrepro -workers 8 -stages Values,ValueTrend  # scheduler width / stage subset
 //	hfrepro -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// SIGINT cancels the run gracefully: in-flight stages drain and, with
+// -trace, the partial span tree is still printed and written to
+// results/trace.json.
 //
 // Usage:
 //
@@ -16,11 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"turnup"
@@ -34,12 +43,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "volume scale (1.0 = paper-sized corpus)")
 	out := flag.String("out", "", "optional output directory for comparison.md and tables.txt")
 	k := flag.Int("k", 12, "latent class count")
+	workers := flag.Int("workers", 0, "concurrent analysis stages (0 = GOMAXPROCS)")
+	stages := flag.String("stages", "", "comma-separated analysis stage subset; transitive deps are added (empty = all)")
 	trace := flag.Bool("trace", false, "print the pipeline span tree and write results/trace.json")
 	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format")
 	progress := flag.Bool("progress", false, "report analysis stage progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -57,24 +71,33 @@ func main() {
 	if *metrics || *trace {
 		reg = turnup.NewRegistry()
 	}
+	// fail flushes the (possibly partial) trace before exiting, so an
+	// interrupted run still yields results/trace.json.
+	fail := func(err error) {
+		flushTrace(tracer, *out)
+		log.Fatal(err)
+	}
 
 	start := time.Now()
-	d, err := turnup.Generate(turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
+	d, err := turnup.GenerateCtx(ctx, turnup.Config{Seed: *seed, Scale: *scale, Trace: tracer, Metrics: reg})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	s := d.Summary()
 	fmt.Printf("generated %d contracts / %d users / %d posts in %v\n",
 		s.Contracts, s.Users, s.Posts, time.Since(start).Round(time.Millisecond))
 
-	opts := turnup.RunOptions{Seed: *seed, LatentClassK: *k, Trace: tracer, Metrics: reg}
+	opts := turnup.RunOptions{
+		Seed: *seed, LatentClassK: *k, Workers: *workers, Stages: splitList(*stages),
+		Trace: tracer, Metrics: reg,
+	}
 	if *progress {
 		opts.Progress = func(stage string) { fmt.Fprintf(os.Stderr, "hfrepro: stage %s\n", stage) }
 	}
 	t0 := time.Now()
-	res, err := turnup.Run(d, opts)
+	res, err := turnup.RunCtx(ctx, d, opts)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	fmt.Printf("analyses completed in %v\n\n", time.Since(t0).Round(time.Millisecond))
 
@@ -95,31 +118,7 @@ func main() {
 		fmt.Printf("\nwrote %s/comparison.md and %s/tables.txt\n", *out, *out)
 	}
 
-	if tracer != nil {
-		root := tracer.Finish()
-		fmt.Println()
-		obs.WriteText(os.Stdout, root)
-		traceDir := *out
-		if traceDir == "" {
-			traceDir = "results"
-		}
-		if err := os.MkdirAll(traceDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		path := filepath.Join(traceDir, "trace.json")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := obs.WriteJSON(f, root); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", path)
-	}
+	flushTrace(tracer, *out)
 	if *metrics {
 		fmt.Println()
 		obs.WritePrometheus(os.Stdout, reg)
@@ -129,4 +128,50 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// flushTrace prints the span tree and writes trace.json under outDir
+// (default results/). A nil tracer is a no-op, so the call is safe on
+// every exit path, including cancellation.
+func flushTrace(tracer *turnup.Tracer, outDir string) {
+	if tracer == nil {
+		return
+	}
+	root := tracer.Finish()
+	fmt.Println()
+	obs.WriteText(os.Stdout, root)
+	if outDir == "" {
+		outDir = "results"
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Print(err)
+		return
+	}
+	path := filepath.Join(outDir, "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	if err := obs.WriteJSON(f, root); err != nil {
+		f.Close()
+		log.Print(err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		log.Print(err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -34,10 +37,14 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "volume scale per run")
 	models := flag.Bool("models", true, "include the statistical models (slower)")
 	k := flag.Int("k", 8, "latent class count (smaller than 12 keeps sweeps fast)")
+	workers := flag.Int("workers", 0, "concurrent analysis stages per run (0 = GOMAXPROCS)")
 	metrics := flag.Bool("metrics", false, "dump the sweep's obs registry in Prometheus text format")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -60,12 +67,12 @@ func main() {
 		var m0 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 
-		d, err := turnup.Generate(turnup.Config{Seed: uint64(seed), Scale: *scale, Metrics: reg})
+		d, err := turnup.GenerateCtx(ctx, turnup.Config{Seed: uint64(seed), Scale: *scale, Metrics: reg})
 		if err != nil {
 			log.Fatalf("seed %d: %v", seed, err)
 		}
-		res, err := turnup.Run(d, turnup.RunOptions{
-			Seed: uint64(seed), LatentClassK: *k, SkipModels: !*models, Metrics: reg,
+		res, err := turnup.RunCtx(ctx, d, turnup.RunOptions{
+			Seed: uint64(seed), LatentClassK: *k, SkipModels: !*models, Workers: *workers, Metrics: reg,
 		})
 		if err != nil {
 			log.Fatalf("seed %d: %v", seed, err)

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"turnup/internal/dataset"
+	"turnup/internal/rng"
+)
+
+// StageInfo describes one declared stage of the analysis DAG: its name,
+// the stages whose results it reads, and whether it belongs to the
+// statistical-model tier that SkipModels drops.
+type StageInfo struct {
+	Name  string
+	Deps  []string
+	Model bool
+}
+
+// stageSpec is the internal declaration of one Suite stage. fn computes
+// the stage into its own slot(s) of res and never writes another stage's
+// slot — that ownership discipline is what makes concurrent execution
+// safe without locks. rngLabel, when non-zero, assigns the stage a forked
+// RNG stream; the scheduler forks every labelled stream from the suite
+// source in declaration order before any stage runs, so streams are
+// identical for every worker count and stage subset (and match the
+// fork order of the old sequential pipeline).
+type stageSpec struct {
+	name     string
+	deps     []string
+	model    bool
+	rngLabel uint64
+	fn       func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, src *rng.Source) error
+}
+
+// pure wraps an infallible descriptive stage.
+func pure(fn func(d *dataset.Dataset, res *Suite)) func(*dataset.Dataset, *Suite, *SuiteOptions, *rng.Source) error {
+	return func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+		fn(d, res)
+		return nil
+	}
+}
+
+// stageTable declares the full analysis DAG in canonical order:
+// descriptive stages first, model stages last. Declaration order is
+// topological — every dep precedes its dependents — which init verifies
+// together with name uniqueness, so the scheduler can trust the table.
+var stageTable = []stageSpec{
+	{name: "Taxonomy", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Taxonomy = Taxonomy(d) })},
+	{name: "Visibility", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Visibility = Visibility(d) })},
+	{name: "Growth", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Growth = Growth(d) })},
+	{name: "PublicTrend", fn: pure(func(d *dataset.Dataset, res *Suite) { res.PublicTrend = PublicTrend(d) })},
+	{name: "TypeShares", fn: pure(func(d *dataset.Dataset, res *Suite) { res.TypeShares = TypeShareTrend(d) })},
+	{name: "CompletionTimes", fn: pure(func(d *dataset.Dataset, res *Suite) { res.CompletionTimes = CompletionTimeTrend(d) })},
+	{name: "Concentration", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Concentration = Concentrate(d) })},
+	{name: "KeyShares", fn: pure(func(d *dataset.Dataset, res *Suite) { res.KeyShares = KeyShares(d) })},
+	{name: "DegreesCreated", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreesCreated = DegreeDist(d.Contracts) })},
+	{name: "DegreesDone", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreesDone = DegreeDist(d.Completed()) })},
+	{name: "DegreeGrowth", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreeGrowth = DegreeGrowthTrend(d, false) })},
+	{name: "Products", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Products = ProductTrends(d) })},
+	{name: "PaymentTrend", fn: pure(func(d *dataset.Dataset, res *Suite) { res.PaymentTrend = PaymentTrends(d) })},
+	{name: "Activities", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Activities = Activities(d) })},
+	{name: "Payments", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Payments = PaymentMethods(d) })},
+	{name: "ChangePoints", fn: pure(func(d *dataset.Dataset, res *Suite) { res.ChangePoints = ChangePoints(d, 3) })},
+	{name: "Participation", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Participation = Participation(d) })},
+	{name: "Disputes", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Disputes = Disputes(d) })},
+	{name: "Centralisation", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Centralisation = CentralisationTrend(d) })},
+	{name: "Cohorts", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Cohorts = Cohorts(d) })},
+	{name: "Corpus", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Corpus = Corpus(d) })},
+	{name: "Stimulus", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Stimulus = StimulusTest(d) })},
+	{name: "Values", fn: func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, _ *rng.Source) error {
+		res.Values = Values(d)
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("audit_high_value_total").Add(int64(res.Values.Audit.HighValue))
+			opts.Metrics.Counter("audit_confirmed_total").Add(int64(res.Values.Audit.Confirmed))
+			opts.Metrics.Counter("audit_revised_total").Add(int64(res.Values.Audit.Revised))
+			opts.Metrics.Counter("audit_unclear_total").Add(int64(res.Values.Audit.Unclear))
+			opts.Metrics.Counter("audit_unverifiable_total").Add(int64(res.Values.Audit.Unverifiable))
+		}
+		return nil
+	}},
+	{name: "ValueTrend", deps: []string{"Values"},
+		fn: pure(func(d *dataset.Dataset, res *Suite) { res.ValueTrend = ValueTrends(d, res.Values) })},
+	{name: "LatentClasses", model: true, rngLabel: 1,
+		fn: func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, src *rng.Source) error {
+			ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src)
+			if err != nil {
+				return fmt.Errorf("analysis: latent classes: %w", err)
+			}
+			res.LTM = ltm
+			return nil
+		}},
+	{name: "Flows", deps: []string{"LatentClasses"}, model: true,
+		fn: pure(func(d *dataset.Dataset, res *Suite) { res.Flows = Flows(d, res.LTM) })},
+	{name: "ColdStart", model: true, rngLabel: 2,
+		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, src *rng.Source) error {
+			cs, err := ColdStart(d, src)
+			if err != nil {
+				return fmt.Errorf("analysis: cold start: %w", err)
+			}
+			res.ColdStart = cs
+			return nil
+		}},
+	{name: "ZIPAll", model: true,
+		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+			var err error
+			if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
+				return fmt.Errorf("analysis: ZIP (all users): %w", err)
+			}
+			return nil
+		}},
+	{name: "ZIPSub", model: true,
+		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+			var err error
+			if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
+				return fmt.Errorf("analysis: ZIP (subgroups): %w", err)
+			}
+			return nil
+		}},
+}
+
+// stageIndex maps stage name → stageTable position.
+var stageIndex = func() map[string]int {
+	idx := make(map[string]int, len(stageTable))
+	for i, st := range stageTable {
+		idx[st.name] = i
+	}
+	return idx
+}()
+
+func init() {
+	// The table is a compile-time constant; a broken edit should fail the
+	// first test run loudly rather than hang or misschedule.
+	seen := make(map[string]int, len(stageTable))
+	for i, st := range stageTable {
+		if j, dup := seen[st.name]; dup {
+			panic(fmt.Sprintf("analysis: stage %q declared twice (positions %d and %d)", st.name, j, i))
+		}
+		seen[st.name] = i
+		for _, dep := range st.deps {
+			j, ok := seen[dep]
+			if !ok {
+				panic(fmt.Sprintf("analysis: stage %q depends on %q, which is undeclared or declared later (table must be topological)", st.name, dep))
+			}
+			if !st.model && stageTable[j].model {
+				panic(fmt.Sprintf("analysis: descriptive stage %q cannot depend on model stage %q (SkipModels would orphan it)", st.name, dep))
+			}
+		}
+	}
+}
+
+// Stages returns the declared analysis DAG in canonical (topological)
+// order. It replaces the order-only StageNames list: consumers get each
+// stage's dependencies and model tier as well as the order.
+func Stages() []StageInfo {
+	out := make([]StageInfo, len(stageTable))
+	for i, st := range stageTable {
+		out[i] = StageInfo{
+			Name:  st.name,
+			Deps:  append([]string(nil), st.deps...),
+			Model: st.model,
+		}
+	}
+	return out
+}
+
+// StageNames lists every Suite stage in canonical execution order, model
+// stages last.
+//
+// Deprecated: StageNames is now derived from the stage DAG and kept so
+// existing consumers compile; new code should use Stages, which also
+// carries each stage's dependencies.
+var StageNames = func() []string {
+	names := make([]string, len(stageTable))
+	for i, st := range stageTable {
+		names[i] = st.name
+	}
+	return names
+}()
+
+// selectStages resolves a requested subset to the set of stageTable
+// indexes to run, in table order: each requested stage plus its
+// transitive dependencies, minus the model tier when skipModels is set.
+// An empty request selects every stage. Requesting an unknown stage, or a
+// model stage together with skipModels, is an error.
+func selectStages(requested []string, skipModels bool) ([]int, error) {
+	if len(requested) == 0 {
+		sel := make([]int, 0, len(stageTable))
+		for i, st := range stageTable {
+			if skipModels && st.model {
+				continue
+			}
+			sel = append(sel, i)
+		}
+		return sel, nil
+	}
+	selected := make(map[int]bool)
+	var add func(name string) error
+	add = func(name string) error {
+		i, ok := stageIndex[name]
+		if !ok {
+			return fmt.Errorf("analysis: unknown stage %q (valid: %s)", name, strings.Join(StageNames, ", "))
+		}
+		if selected[i] {
+			return nil
+		}
+		selected[i] = true
+		for _, dep := range stageTable[i].deps {
+			if err := add(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range requested {
+		i, ok := stageIndex[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown stage %q (valid: %s)", name, strings.Join(StageNames, ", "))
+		}
+		if skipModels && stageTable[i].model {
+			return nil, fmt.Errorf("analysis: stage %q is a model stage and unavailable with SkipModels", name)
+		}
+		if err := add(name); err != nil {
+			return nil, err
+		}
+	}
+	sel := make([]int, 0, len(selected))
+	for i := range stageTable {
+		if selected[i] {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}

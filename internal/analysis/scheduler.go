@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/obs"
+	"turnup/internal/rng"
+)
+
+// RunSuiteCtx executes the analysis DAG over the dataset with a pool of
+// opts.Workers goroutines (default runtime.GOMAXPROCS(0)). A stage is
+// dispatched as soon as every stage it depends on has completed; almost
+// all descriptive stages are independent reads of the immutable dataset,
+// so on a multi-core machine they run concurrently.
+//
+// Results are bit-for-bit identical for every worker count: each stage
+// writes only its own Suite slot, stage inputs are either the dataset or
+// completed dependency slots (ordered by the scheduler's happens-before
+// edges), and RNG-consuming stages draw from streams forked in
+// declaration order before any stage runs.
+//
+// Cancellation is cooperative: when ctx is cancelled the scheduler stops
+// dispatching, drains stages already in flight, and returns ctx.Err().
+// A stage error likewise halts dispatch, drains, and is returned (first
+// error wins).
+func RunSuiteCtx(ctx context.Context, d *dataset.Dataset, opts SuiteOptions, src *rng.Source) (*Suite, error) {
+	if opts.LatentClassK <= 0 {
+		opts.LatentClassK = 12
+	}
+	sel, err := selectStages(opts.Stages, opts.SkipModels)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pre-fork every labelled RNG stream in declaration order, so stage
+	// streams do not depend on worker count, completion order, or the
+	// selected subset — and match the old sequential pipeline's forks.
+	streams := make(map[int]*rng.Source)
+	for i, st := range stageTable {
+		if st.rngLabel != 0 {
+			streams[i] = src.Fork(st.rngLabel)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sel) && len(sel) > 0 {
+		workers = len(sel)
+	}
+
+	res := &Suite{}
+	suiteSpan := opts.Trace.Start("analysis/RunSuite")
+	defer suiteSpan.End()
+	suiteSpan.SetInt("workers", workers)
+	suiteSpan.SetInt("stages", len(sel))
+
+	sched := &scheduler{d: d, res: res, opts: &opts, streams: streams, parent: suiteSpan}
+
+	// Per-selection dependency bookkeeping. selectStages guarantees every
+	// dep of a selected stage is selected too, so indegrees are complete.
+	inSel := make(map[int]bool, len(sel))
+	for _, i := range sel {
+		inSel[i] = true
+	}
+	indeg := make(map[int]int, len(sel))
+	dependents := make(map[int][]int, len(sel))
+	for _, i := range sel {
+		for _, dep := range stageTable[i].deps {
+			j := stageIndex[dep]
+			if inSel[j] {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+
+	type outcome struct {
+		idx int
+		err error
+	}
+	ready := make(chan int, len(sel))
+	done := make(chan outcome, len(sel))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range ready {
+				// After a halt, queued-but-unstarted stages are skipped;
+				// only stages already past this check drain to completion.
+				if sched.halted.Load() {
+					done <- outcome{idx, nil}
+					continue
+				}
+				done <- outcome{idx, sched.runStage(worker, idx)}
+			}
+		}(w)
+	}
+
+	inflight := 0
+	enqueue := func(i int) {
+		inflight++
+		ready <- i // buffered to len(sel); never blocks
+	}
+	for _, i := range sel {
+		if indeg[i] == 0 {
+			enqueue(i)
+		}
+	}
+
+	var firstErr error
+	ctxDone := ctx.Done()
+	for inflight > 0 {
+		select {
+		case out := <-done:
+			inflight--
+			if out.err != nil {
+				if firstErr == nil {
+					firstErr = out.err
+				}
+				sched.halted.Store(true)
+				continue
+			}
+			if sched.halted.Load() {
+				continue
+			}
+			for _, next := range dependents[out.idx] {
+				indeg[next]--
+				if indeg[next] == 0 {
+					enqueue(next)
+				}
+			}
+		case <-ctxDone:
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			sched.halted.Store(true)
+			ctxDone = nil // drain in-flight work via done only
+		}
+	}
+	close(ready)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// scheduler carries the per-run state shared by the worker pool.
+type scheduler struct {
+	d       *dataset.Dataset
+	res     *Suite
+	opts    *SuiteOptions
+	streams map[int]*rng.Source
+	parent  *obs.Span
+
+	progressMu sync.Mutex  // serialises the user's Progress callback
+	halted     atomic.Bool // stop-dispatch latch: stage error or ctx cancel
+}
+
+// runStage executes one stage under the observability contract: the
+// Progress callback, a span (with a worker attr) under the RunSuite span,
+// the stage-timing histogram and counter, and the in-flight gauge.
+func (s *scheduler) runStage(worker, idx int) error {
+	st := &stageTable[idx]
+	if s.opts.Progress != nil {
+		s.progressMu.Lock()
+		s.opts.Progress(st.name)
+		s.progressMu.Unlock()
+	}
+	sp := s.parent.StartChild("analysis/" + st.name)
+	sp.SetInt("worker", worker)
+	inflight := s.opts.Metrics.Gauge("analysis_stages_inflight")
+	inflight.Add(1)
+	start := time.Time{}
+	if s.opts.Metrics != nil {
+		start = time.Now()
+	}
+	err := st.fn(s.d, s.res, s.opts, s.streams[idx])
+	sp.End()
+	inflight.Add(-1)
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Histogram("analysis_stage_seconds").Observe(time.Since(start).Seconds())
+		s.opts.Metrics.Counter("analysis_stages_total").Inc()
+	}
+	return err
+}

@@ -1,8 +1,7 @@
 package analysis
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"turnup/internal/dataset"
 	"turnup/internal/obs"
@@ -10,7 +9,7 @@ import (
 )
 
 // SuiteOptions selects which analyses RunSuite performs and how the run is
-// observed.
+// scheduled and observed.
 type SuiteOptions struct {
 	// LatentClassK is the number of behaviour classes (default 12, the
 	// paper's choice).
@@ -18,16 +17,28 @@ type SuiteOptions struct {
 	// SkipModels skips the statistical models (Tables 6-10), keeping only
 	// the descriptive analyses.
 	SkipModels bool
+	// Workers caps how many stages execute concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). Results are bit-for-bit identical for every
+	// worker count.
+	Workers int
+	// Stages selects a stage subset by name (see Stages for the declared
+	// DAG); the scheduler adds each requested stage's transitive
+	// dependencies automatically. Empty means every stage.
+	Stages []string
 
 	// Trace, when non-nil, records one span per Suite stage (wall time and
-	// allocation deltas). The nil default costs nothing.
+	// allocation deltas; a worker attr says which pool worker ran it). The
+	// nil default costs nothing.
 	Trace *obs.Tracer
 	// Metrics, when non-nil, receives an analysis_stage_seconds histogram,
-	// an analysis_stages_total counter, and the §4.5 audit counters
-	// (including audit_unverifiable_total for ledger-less datasets).
+	// an analysis_stages_total counter, an analysis_stages_inflight gauge,
+	// and the §4.5 audit counters (including audit_unverifiable_total for
+	// ledger-less datasets).
 	Metrics *obs.Registry
 	// Progress, when non-nil, is called with each stage name just before
 	// the stage runs — the hook hfrepro uses for stderr progress lines.
+	// Calls are serialised, but under Workers > 1 their order is the
+	// scheduler's dispatch order, not the canonical stage order.
 	Progress func(stage string)
 }
 
@@ -66,125 +77,8 @@ type Suite struct {
 	ZIPSub    []ZIPEraResult   // Table 10
 }
 
-// StageNames lists every Suite stage in execution order, model stages last.
-// Exporters and progress consumers can rely on this order.
-var StageNames = []string{
-	"Taxonomy", "Visibility", "Growth", "PublicTrend", "TypeShares",
-	"CompletionTimes", "Concentration", "KeyShares", "DegreesCreated",
-	"DegreesDone", "DegreeGrowth", "Products", "PaymentTrend", "Activities",
-	"Payments", "ChangePoints", "Participation", "Disputes",
-	"Centralisation", "Cohorts", "Corpus", "Stimulus", "Values",
-	"ValueTrend",
-	"LatentClasses", "Flows", "ColdStart", "ZIPAll", "ZIPSub",
-}
-
-// stage runs one named analysis stage under the options' observability
-// hooks: a progress callback, a trace span, and stage-timing metrics.
-func (o *SuiteOptions) stage(name string, fn func() error) error {
-	if o.Progress != nil {
-		o.Progress(name)
-	}
-	sp := o.Trace.Start("analysis/" + name)
-	start := time.Time{}
-	if o.Metrics != nil {
-		start = time.Now()
-	}
-	err := fn()
-	sp.End()
-	if o.Metrics != nil {
-		o.Metrics.Histogram("analysis_stage_seconds").Observe(time.Since(start).Seconds())
-		o.Metrics.Counter("analysis_stages_total").Inc()
-	}
-	return err
-}
-
-// run is the infallible-stage shorthand.
-func (o *SuiteOptions) run(name string, fn func()) {
-	_ = o.stage(name, func() error { fn(); return nil })
-}
-
-// RunSuite executes the full analysis pipeline over the dataset.
+// RunSuite executes the full analysis pipeline over the dataset. It is
+// RunSuiteCtx without cancellation.
 func RunSuite(d *dataset.Dataset, opts SuiteOptions, src *rng.Source) (*Suite, error) {
-	if opts.LatentClassK <= 0 {
-		opts.LatentClassK = 12
-	}
-	res := &Suite{}
-	suiteSpan := opts.Trace.Start("analysis/RunSuite")
-	defer suiteSpan.End()
-
-	opts.run("Taxonomy", func() { res.Taxonomy = Taxonomy(d) })
-	opts.run("Visibility", func() { res.Visibility = Visibility(d) })
-	opts.run("Growth", func() { res.Growth = Growth(d) })
-	opts.run("PublicTrend", func() { res.PublicTrend = PublicTrend(d) })
-	opts.run("TypeShares", func() { res.TypeShares = TypeShareTrend(d) })
-	opts.run("CompletionTimes", func() { res.CompletionTimes = CompletionTimeTrend(d) })
-	opts.run("Concentration", func() { res.Concentration = Concentrate(d) })
-	opts.run("KeyShares", func() { res.KeyShares = KeyShares(d) })
-	opts.run("DegreesCreated", func() { res.DegreesCreated = DegreeDist(d.Contracts) })
-	opts.run("DegreesDone", func() { res.DegreesDone = DegreeDist(d.Completed()) })
-	opts.run("DegreeGrowth", func() { res.DegreeGrowth = DegreeGrowthTrend(d, false) })
-	opts.run("Products", func() { res.Products = ProductTrends(d) })
-	opts.run("PaymentTrend", func() { res.PaymentTrend = PaymentTrends(d) })
-	opts.run("Activities", func() { res.Activities = Activities(d) })
-	opts.run("Payments", func() { res.Payments = PaymentMethods(d) })
-	opts.run("ChangePoints", func() { res.ChangePoints = ChangePoints(d, 3) })
-	opts.run("Participation", func() { res.Participation = Participation(d) })
-	opts.run("Disputes", func() { res.Disputes = Disputes(d) })
-	opts.run("Centralisation", func() { res.Centralisation = CentralisationTrend(d) })
-	opts.run("Cohorts", func() { res.Cohorts = Cohorts(d) })
-	opts.run("Corpus", func() { res.Corpus = Corpus(d) })
-	opts.run("Stimulus", func() { res.Stimulus = StimulusTest(d) })
-	opts.run("Values", func() {
-		res.Values = Values(d)
-		opts.Metrics.Counter("audit_high_value_total").Add(int64(res.Values.Audit.HighValue))
-		opts.Metrics.Counter("audit_confirmed_total").Add(int64(res.Values.Audit.Confirmed))
-		opts.Metrics.Counter("audit_revised_total").Add(int64(res.Values.Audit.Revised))
-		opts.Metrics.Counter("audit_unclear_total").Add(int64(res.Values.Audit.Unclear))
-		opts.Metrics.Counter("audit_unverifiable_total").Add(int64(res.Values.Audit.Unverifiable))
-	})
-	opts.run("ValueTrend", func() { res.ValueTrend = ValueTrends(d, res.Values) })
-	if opts.SkipModels {
-		return res, nil
-	}
-
-	if err := opts.stage("LatentClasses", func() error {
-		ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src.Fork(1))
-		if err != nil {
-			return fmt.Errorf("analysis: latent classes: %w", err)
-		}
-		res.LTM = ltm
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	opts.run("Flows", func() { res.Flows = Flows(d, res.LTM) })
-	if err := opts.stage("ColdStart", func() error {
-		cs, err := ColdStart(d, src.Fork(2))
-		if err != nil {
-			return fmt.Errorf("analysis: cold start: %w", err)
-		}
-		res.ColdStart = cs
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	if err := opts.stage("ZIPAll", func() error {
-		var err error
-		if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
-			return fmt.Errorf("analysis: ZIP (all users): %w", err)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	if err := opts.stage("ZIPSub", func() error {
-		var err error
-		if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
-			return fmt.Errorf("analysis: ZIP (subgroups): %w", err)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return RunSuiteCtx(context.Background(), d, opts, src)
 }

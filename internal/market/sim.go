@@ -7,6 +7,7 @@
 package market
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -81,6 +82,14 @@ type sim struct {
 
 // Generate runs the simulator and returns the dataset plus ground truth.
 func Generate(cfg Config) (*dataset.Dataset, *Truth, error) {
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the
+// simulation checks ctx between simulated months and returns a wrapped
+// ctx.Err() (so errors.Is(err, context.Canceled) holds) instead of the
+// dataset when the caller gives up.
+func GenerateContext(ctx context.Context, cfg Config) (*dataset.Dataset, *Truth, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -109,6 +118,11 @@ func Generate(cfg Config) (*dataset.Dataset, *Truth, error) {
 	var eraSpan *obs.Span
 	curEra := dataset.Era(-1)
 	for m := 0; m < dataset.NumMonths; m++ {
+		if err := ctx.Err(); err != nil {
+			eraSpan.End()
+			genSpan.End()
+			return nil, nil, fmt.Errorf("market: generation cancelled: %w", err)
+		}
 		if e := dataset.EraOf(dataset.Month(m).Time().AddDate(0, 0, 14)); e != curEra {
 			eraSpan.End()
 			eraSpan = cfg.Trace.Start("era/" + e.String())

@@ -89,12 +89,34 @@ func (s *Span) endAt(now time.Time) {
 	}
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
+	// Spans opened with StartChild live off the cursor stack; ending one
+	// must not pop (or close) unrelated open spans.
+	onStack := false
+	for cur := t.cur; cur != nil; cur = cur.parent {
+		if cur == s {
+			onStack = true
+			break
+		}
+	}
+	if !onStack {
+		s.closeTree(now, &m)
+		return
+	}
 	// Close any still-open descendants first.
 	for cur := t.cur; cur != nil && cur != s; cur = cur.parent {
 		cur.close(now, &m)
 	}
 	s.close(now, &m)
 	t.cur = s.parent
+}
+
+// closeTree closes the span and every still-open span in its subtree;
+// caller holds the tracer lock.
+func (s *Span) closeTree(now time.Time, m *runtime.MemStats) {
+	for _, c := range s.Children {
+		c.closeTree(now, m)
+	}
+	s.close(now, m)
 }
 
 // close finalises the span's fields; caller holds the tracer lock.
@@ -158,6 +180,32 @@ func (t *Tracer) Start(name string) *Span {
 	parent.Children = append(parent.Children, s)
 	t.cur = s
 	return s
+}
+
+// StartChild opens a child span directly under s without moving the
+// tracer's innermost-open cursor. It is the concurrency-safe span
+// constructor: parallel workers each open their stage span under a shared
+// parent, so sibling spans never nest inside one another the way
+// cursor-based Start would make them. The child is ended with End.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.tracer == nil {
+		return nil
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{
+		Name:        name,
+		Start:       time.Now(),
+		parent:      s,
+		tracer:      t,
+		startAlloc:  m.TotalAlloc,
+		startMalloc: m.Mallocs,
+	}
+	s.Children = append(s.Children, c)
+	return c
 }
 
 // Root returns the root span (nil on a nil tracer).

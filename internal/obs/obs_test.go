@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -95,17 +96,79 @@ func TestNilTracerIsNoOp(t *testing.T) {
 	}
 }
 
+// TestNilRegistryIsNoOp pins the zero-cost-when-disabled contract on
+// EVERY metric method — instrumented code (the analysis Values stage, the
+// scheduler's in-flight gauge) calls these without a nil check, so each
+// one must be safe on the nil receivers a nil *Registry hands out.
 func TestNilRegistryIsNoOp(t *testing.T) {
 	var r *Registry
 	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
 	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Gauge("g").Add(-1)
 	r.Histogram("h").Observe(1)
 	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
 		t.Fatal("nil registry metrics should read zero")
 	}
+	if r.Histogram("h").Sum() != 0 || r.Histogram("h").Mean() != 0 ||
+		r.Histogram("h").Max() != 0 || r.Histogram("h").Quantile(0.5) != 0 {
+		t.Fatal("nil histogram summaries should read zero")
+	}
 	if r.Snapshot() != nil {
 		t.Fatal("nil registry snapshot should be nil")
 	}
+}
+
+// TestStartChildDetachedSpans pins the scheduler's span constructor:
+// children opened with StartChild attach to the given parent (never to
+// each other), ending one does not disturb the cursor stack, and
+// cursor-based Start keeps working alongside.
+func TestStartChildDetachedSpans(t *testing.T) {
+	tr := NewTracer("root")
+	parent := tr.Start("parent")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := parent.StartChild("stage")
+			c.SetInt("worker", i)
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+
+	// The cursor is still at parent: a stacked Start lands under it.
+	stacked := tr.Start("stacked")
+	stacked.End()
+	parent.End()
+	root := tr.Finish()
+
+	if len(parent.Children) != 9 {
+		t.Fatalf("parent children = %d, want 8 detached + 1 stacked", len(parent.Children))
+	}
+	for _, c := range parent.Children {
+		if !c.Ended() {
+			t.Errorf("child %s not ended", c.Name)
+		}
+		if len(c.Children) != 0 {
+			t.Errorf("sibling %s nested under another sibling", c.Name)
+		}
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(root.Children))
+	}
+
+	// Nil parents propagate: StartChild on a nil span is a no-op span.
+	var nilSpan *Span
+	c := nilSpan.StartChild("x")
+	if c != nil {
+		t.Fatal("StartChild on nil span returned a span")
+	}
+	c.SetAttr("k", "v")
+	c.End()
 }
 
 func TestTracerAllocationDeltas(t *testing.T) {

@@ -43,6 +43,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta to the gauge — the form in-flight style gauges
+// need when increments and decrements race across goroutines.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -37,6 +37,33 @@ func TestConcurrentCounters(t *testing.T) {
 	}
 }
 
+// TestGaugeAdd checks the CAS-loop increment form: concurrent +1/-1
+// pairs must cancel exactly (the analysis_stages_inflight pattern).
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v after balanced adds, want 0", got)
+	}
+	g.Add(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	h := &Histogram{}
 	if h.Quantile(0.5) != 0 {

@@ -28,27 +28,29 @@ func TestTracedPipelineCoversErasAndStages(t *testing.T) {
 	}
 	root := tracer.Finish()
 
-	paths := map[string]bool{}
+	records := map[string]obs.Record{}
 	for _, rec := range obs.Flatten(root) {
-		paths[rec.Path] = true
+		records[rec.Path] = rec
 	}
 	for _, era := range []string{"SET-UP", "STABLE", "COVID-19"} {
-		if !paths["test/market/generate/era/"+era] {
+		if _, ok := records["test/market/generate/era/"+era]; !ok {
 			t.Errorf("trace missing era span %s", era)
 		}
 	}
-	modelStages := map[string]bool{
-		"LatentClasses": true, "Flows": true, "ColdStart": true, "ZIPAll": true, "ZIPSub": true,
-	}
-	for _, stage := range analysis.StageNames {
-		if modelStages[stage] {
+	for _, stage := range analysis.Stages() {
+		if stage.Model {
 			continue // SkipModels run
 		}
-		if !paths["test/analysis/RunSuite/analysis/"+stage] {
-			t.Errorf("trace missing stage span %s", stage)
+		rec, ok := records["test/analysis/RunSuite/analysis/"+stage.Name]
+		if !ok {
+			t.Errorf("trace missing stage span %s", stage.Name)
+			continue
 		}
-		if !contains(stages, stage) {
-			t.Errorf("progress callback missing stage %s", stage)
+		if _, ok := rec.Attrs["worker"]; !ok {
+			t.Errorf("stage span %s missing worker attr", stage.Name)
+		}
+		if !contains(stages, stage.Name) {
+			t.Errorf("progress callback missing stage %s", stage.Name)
 		}
 	}
 
@@ -61,6 +63,9 @@ func TestTracedPipelineCoversErasAndStages(t *testing.T) {
 	}
 	if reg.Histogram("analysis_stage_seconds").Count() == 0 {
 		t.Error("analysis_stage_seconds empty")
+	}
+	if got := reg.Gauge("analysis_stages_inflight").Value(); got != 0 {
+		t.Errorf("analysis_stages_inflight = %v after the run, want 0", got)
 	}
 
 	// The JSON exporter round-trips the live tree.

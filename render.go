@@ -1,0 +1,142 @@
+package turnup
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"turnup/internal/report"
+)
+
+// section is one named entry of the report registry. render returns the
+// section's text (with its trailing separator) or "" when the underlying
+// result was not computed — model sections on a SkipModels run, for
+// example — so absent sections vanish instead of printing empty shells.
+type section struct {
+	name   string
+	render func(*Results) string
+}
+
+// sectionTable registers every report section in canonical order. The
+// names are the -sections vocabulary of hfanalyze; RenderAll is exactly
+// this table rendered top to bottom.
+var sectionTable = []section{
+	{"taxonomy", func(r *Results) string { return report.Taxonomy(r.Taxonomy) + "\n" }},
+	{"visibility", func(r *Results) string { return report.Visibility(r.Visibility) + "\n" }},
+	{"growth", func(r *Results) string { return report.Growth(r.Growth) + "\n" }},
+	{"public-trend", func(r *Results) string { return report.PublicTrend(r.PublicTrend) + "\n" }},
+	{"type-shares", func(r *Results) string { return report.TypeShares(r.TypeShares) + "\n" }},
+	{"completion-times", func(r *Results) string { return report.CompletionTimes(r.CompletionTimes) + "\n" }},
+	{"concentration", func(r *Results) string { return report.Concentration(r.Concentration) + "\n" }},
+	{"key-shares", func(r *Results) string { return report.KeyShares(r.KeyShares) + "\n" }},
+	{"degrees", func(r *Results) string {
+		return report.DegreeDist("created", r.DegreesCreated) +
+			report.DegreeDist("completed", r.DegreesDone) + "\n"
+	}},
+	{"degree-growth", func(r *Results) string { return report.DegreeGrowth(r.DegreeGrowth) + "\n" }},
+	{"products", func(r *Results) string { return report.ProductTrend(r.Products) + "\n" }},
+	{"payment-trend", func(r *Results) string { return report.PaymentTrend(r.PaymentTrend) + "\n" }},
+	{"value-trend", func(r *Results) string { return report.ValueTrend(r.ValueTrend) + "\n" }},
+	{"activities", func(r *Results) string { return report.Activities(r.Activities, 15) + "\n" }},
+	{"payments", func(r *Results) string { return report.Payments(r.Payments, 10) + "\n" }},
+	{"values", func(r *Results) string { return report.Values(r.Values, 10) + "\n" }},
+	{"participation", func(r *Results) string { return report.Participation(r.Participation) + "\n" }},
+	{"disputes", func(r *Results) string { return report.Disputes(r.Disputes) + "\n" }},
+	{"centralisation", func(r *Results) string { return report.Centralisation(r.Centralisation) + "\n" }},
+	{"cohorts", func(r *Results) string { return report.Cohorts(r.Cohorts) + "\n" }},
+	{"corpus", func(r *Results) string { return report.Corpus(r.Corpus) + "\n" }},
+	{"stimulus", func(r *Results) string { return report.Stimulus(r.Stimulus) + "\n" }},
+	{"latent-classes", func(r *Results) string {
+		if r.LTM == nil {
+			return ""
+		}
+		return report.LatentClasses(r.LTM) + "\n"
+	}},
+	{"class-activity-made", func(r *Results) string {
+		if r.LTM == nil {
+			return ""
+		}
+		return report.ClassActivity(r.LTM, true) + "\n"
+	}},
+	{"class-activity-accepted", func(r *Results) string {
+		if r.LTM == nil {
+			return ""
+		}
+		return report.ClassActivity(r.LTM, false) + "\n"
+	}},
+	{"flows", func(r *Results) string {
+		if r.LTM == nil {
+			return ""
+		}
+		return report.Flows(r.Flows, r.LTM) + "\n"
+	}},
+	{"cold-start", func(r *Results) string {
+		if r.ColdStart == nil {
+			return ""
+		}
+		return report.ColdStart(r.ColdStart) + "\n"
+	}},
+	{"zip-all", func(r *Results) string {
+		if r.ZIPAll == nil {
+			return ""
+		}
+		return report.ZIPModels("Table 9: Zero-Inflated Poisson (all users)", r.ZIPAll) + "\n"
+	}},
+	{"zip-sub", func(r *Results) string {
+		if r.ZIPSub == nil {
+			return ""
+		}
+		return report.ZIPModels("Table 10: Zero-Inflated Poisson (first-time vs existing)", r.ZIPSub) + "\n"
+	}},
+}
+
+// sectionIndex maps section name → sectionTable position.
+var sectionIndex = func() map[string]int {
+	idx := make(map[string]int, len(sectionTable))
+	for i, s := range sectionTable {
+		idx[s.name] = i
+	}
+	return idx
+}()
+
+// Sections lists every named report section in canonical render order.
+func Sections() []string {
+	names := make([]string, len(sectionTable))
+	for i, s := range sectionTable {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Render writes the named sections of the results to w, in the order
+// given. With no section names it renders every section in canonical
+// order (the RenderAll output). Sections whose results were not computed
+// render as empty; an unknown section name is an error.
+func Render(w io.Writer, r *Results, sections ...string) error {
+	if len(sections) == 0 {
+		for _, s := range sectionTable {
+			if _, err := io.WriteString(w, s.render(r)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range sections {
+		i, ok := sectionIndex[name]
+		if !ok {
+			return fmt.Errorf("turnup: unknown section %q (valid: %s)", name, strings.Join(Sections(), ", "))
+		}
+		if _, err := io.WriteString(w, sectionTable[i].render(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderAll renders every computed table and figure as text: the whole
+// section registry, top to bottom.
+func RenderAll(r *Results) string {
+	var b strings.Builder
+	_ = Render(&b, r) // strings.Builder writes cannot fail
+	return b.String()
+}

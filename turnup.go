@@ -18,6 +18,8 @@
 package turnup
 
 import (
+	"context"
+
 	"turnup/internal/analysis"
 	"turnup/internal/dataset"
 	"turnup/internal/market"
@@ -57,7 +59,14 @@ type Results = analysis.Suite
 
 // Generate simulates a marketplace corpus.
 func Generate(cfg Config) (*Dataset, error) {
-	d, _, err := market.Generate(cfg)
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with cooperative cancellation: the simulator
+// checks ctx between simulated months, so a cancelled context stops a
+// long Scale-1.0 generation within one month's work.
+func GenerateCtx(ctx context.Context, cfg Config) (*Dataset, error) {
+	d, _, err := market.GenerateContext(ctx, cfg)
 	return d, err
 }
 
@@ -85,6 +94,14 @@ type RunOptions struct {
 	// SkipModels skips the expensive statistical models (Tables 6-10),
 	// keeping only the descriptive analyses.
 	SkipModels bool
+	// Workers caps how many analysis stages run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). Results are bit-for-bit identical for every
+	// worker count.
+	Workers int
+	// Stages selects a stage subset by name (see analysis.Stages for the
+	// declared DAG); each requested stage's transitive dependencies are
+	// added automatically. Empty means every stage.
+	Stages []string
 
 	// Trace, when non-nil, records one span per analysis stage.
 	Trace *Tracer
@@ -95,58 +112,24 @@ type RunOptions struct {
 	Progress func(stage string)
 }
 
-// Run executes the full analysis pipeline over the dataset.
+// Run executes the analysis pipeline over the dataset.
 func Run(d *Dataset, opts RunOptions) (*Results, error) {
-	return analysis.RunSuite(d, analysis.SuiteOptions{
+	return RunCtx(context.Background(), d, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: a cancelled context stops
+// the stage scheduler from dispatching further stages, drains the ones in
+// flight, and returns ctx.Err().
+func RunCtx(ctx context.Context, d *Dataset, opts RunOptions) (*Results, error) {
+	return analysis.RunSuiteCtx(ctx, d, analysis.SuiteOptions{
 		LatentClassK: opts.LatentClassK,
 		SkipModels:   opts.SkipModels,
+		Workers:      opts.Workers,
+		Stages:       opts.Stages,
 		Trace:        opts.Trace,
 		Metrics:      opts.Metrics,
 		Progress:     opts.Progress,
 	}, rng.New(opts.Seed))
-}
-
-// RenderAll renders every computed table and figure as text.
-func RenderAll(r *Results) string {
-	out := report.Taxonomy(r.Taxonomy) + "\n" +
-		report.Visibility(r.Visibility) + "\n" +
-		report.Growth(r.Growth) + "\n" +
-		report.PublicTrend(r.PublicTrend) + "\n" +
-		report.TypeShares(r.TypeShares) + "\n" +
-		report.CompletionTimes(r.CompletionTimes) + "\n" +
-		report.Concentration(r.Concentration) + "\n" +
-		report.KeyShares(r.KeyShares) + "\n" +
-		report.DegreeDist("created", r.DegreesCreated) +
-		report.DegreeDist("completed", r.DegreesDone) + "\n" +
-		report.DegreeGrowth(r.DegreeGrowth) + "\n" +
-		report.ProductTrend(r.Products) + "\n" +
-		report.PaymentTrend(r.PaymentTrend) + "\n" +
-		report.ValueTrend(r.ValueTrend) + "\n" +
-		report.Activities(r.Activities, 15) + "\n" +
-		report.Payments(r.Payments, 10) + "\n" +
-		report.Values(r.Values, 10) + "\n" +
-		report.Participation(r.Participation) + "\n" +
-		report.Disputes(r.Disputes) + "\n" +
-		report.Centralisation(r.Centralisation) + "\n" +
-		report.Cohorts(r.Cohorts) + "\n" +
-		report.Corpus(r.Corpus) + "\n" +
-		report.Stimulus(r.Stimulus) + "\n"
-	if r.LTM != nil {
-		out += report.LatentClasses(r.LTM) + "\n" +
-			report.ClassActivity(r.LTM, true) + "\n" +
-			report.ClassActivity(r.LTM, false) + "\n" +
-			report.Flows(r.Flows, r.LTM) + "\n"
-	}
-	if r.ColdStart != nil {
-		out += report.ColdStart(r.ColdStart) + "\n"
-	}
-	if r.ZIPAll != nil {
-		out += report.ZIPModels("Table 9: Zero-Inflated Poisson (all users)", r.ZIPAll) + "\n"
-	}
-	if r.ZIPSub != nil {
-		out += report.ZIPModels("Table 10: Zero-Inflated Poisson (first-time vs existing)", r.ZIPSub) + "\n"
-	}
-	return out
 }
 
 // Compare builds the paper-vs-measured comparison rows for EXPERIMENTS.md.
