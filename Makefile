@@ -4,9 +4,11 @@
 #   make tier2           # vet + tests under the race detector
 #   make bench-baseline  # 1x bench smoke → BENCH_baseline.json snapshot
 #   make bench-parallel  # sequential-vs-parallel suite → BENCH_parallel.json
+#   make bench-serve     # cache-hit vs cold-request latency
+#   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-serve serve
 
 tier1:
 	go build ./... && go test ./...
@@ -44,3 +46,14 @@ bench-parallel:
 	  END { print "\n}" }' \
 	> BENCH_parallel.json
 	@echo "wrote BENCH_parallel.json"
+
+# Cache-hit vs cold-request latency for the HTTP analysis service; the
+# gap is the result cache's value proposition (see DESIGN.md §3.3).
+bench-serve:
+	go test -run '^$$' -bench 'Serve' -benchtime 3x ./internal/serve/
+
+# Serve the simulate→analyse pipeline over HTTP (see README "Serving").
+# Override flags via SERVE_FLAGS, e.g.
+#   make serve SERVE_FLAGS="-addr :9090 -pprof -max-runs 4"
+serve:
+	go run ./cmd/hfserved $(SERVE_FLAGS)

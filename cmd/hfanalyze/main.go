@@ -79,6 +79,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Reject unknown stage and section names upfront — the errors list the
+	// valid vocabulary — rather than after an expensive generate+run.
+	stageList := splitList(*stages)
+	if err := turnup.ValidateStages(stageList...); err != nil {
+		log.Fatal(err)
+	}
+	sectionList := splitList(*sections)
+	if err := turnup.ValidateSections(sectionList...); err != nil {
+		log.Fatal(err)
+	}
+
 	var d *turnup.Dataset
 	var err error
 	if *data != "" {
@@ -94,7 +105,7 @@ func main() {
 		LatentClassK: *k,
 		SkipModels:   !*models,
 		Workers:      *workers,
-		Stages:       splitList(*stages),
+		Stages:       stageList,
 		Trace:        tracer,
 		Metrics:      reg,
 	}
@@ -105,7 +116,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := turnup.Render(os.Stdout, res, splitList(*sections)...); err != nil {
+	if err := turnup.Render(os.Stdout, res, sectionList...); err != nil {
 		fail(err)
 	}
 

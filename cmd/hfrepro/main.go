@@ -6,7 +6,7 @@
 // Observability (see README "Profiling & tracing a run"):
 //
 //	hfrepro -seed 1 -scale 0.05 -trace            # span tree + results/trace.json
-//	hfrepro -metrics                              # Prometheus dump on stdout
+//	hfrepro -metrics                              # Prometheus dump on stderr
 //	hfrepro -progress                             # stage progress on stderr
 //	hfrepro -workers 8 -stages Values,ValueTrend  # scheduler width / stage subset
 //	hfrepro -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -46,7 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent analysis stages (0 = GOMAXPROCS)")
 	stages := flag.String("stages", "", "comma-separated analysis stage subset; transitive deps are added (empty = all)")
 	trace := flag.Bool("trace", false, "print the pipeline span tree and write results/trace.json")
-	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format")
+	metrics := flag.Bool("metrics", false, "dump run metrics in Prometheus text format on stderr")
 	progress := flag.Bool("progress", false, "report analysis stage progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -119,9 +119,10 @@ func main() {
 	}
 
 	flushTrace(tracer, *out)
+	// Metrics go to stderr (matching hfanalyze/hfgen) so the Prometheus
+	// text never interleaves with the comparison table on stdout.
 	if *metrics {
-		fmt.Println()
-		obs.WritePrometheus(os.Stdout, reg)
+		obs.WritePrometheus(os.Stderr, reg)
 	}
 	if *memprofile != "" {
 		if err := obs.WriteHeapProfile(*memprofile); err != nil {

@@ -1,0 +1,107 @@
+// Command hfserved serves the simulate→analyse pipeline over HTTP behind
+// a deduplicating result cache: identical requests are answered from a
+// size-bounded LRU, identical concurrent requests coalesce onto one
+// pipeline run, and a semaphore caps how many runs execute at once (see
+// DESIGN.md §3.3).
+//
+// Endpoints:
+//
+//	GET /v1/report                  full report (all sections)
+//	GET /v1/report/{section}        one or more (comma-separated) sections
+//	    ?seed= &scale= &k= &models= &stages= &format=text|json
+//	GET /v1/sections                report-section vocabulary
+//	GET /v1/stages                  analysis stage DAG (name, deps, model)
+//	GET /healthz                    liveness + uptime + cache entry count
+//	GET /metrics                    Prometheus text exposition
+//	GET /debug/pprof/...            with -pprof
+//
+// Usage:
+//
+//	hfserved -addr :8080
+//	hfserved -cache 128 -max-runs 4 -workers 8
+//	hfserved -max-scale 0.25 -default-scale 0.05
+//	hfserved -pprof -trace           # pprof endpoints + span tree on exit
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight pipeline runs are
+// cancelled through the pipeline's context threading (waiters get 503),
+// open connections drain within -shutdown-timeout, and with -trace the
+// request span tree is flushed to stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfserved: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 64, "completed results retained in the LRU")
+	maxRuns := flag.Int("max-runs", 2, "concurrent pipeline runs (cache hits bypass this cap)")
+	workers := flag.Int("workers", 0, "concurrent analysis stages per run (0 = GOMAXPROCS)")
+	maxScale := flag.Float64("max-scale", 1.0, "largest accepted ?scale= parameter")
+	defaultScale := flag.Float64("default-scale", 0.05, "?scale= default")
+	defaultK := flag.Int("default-k", 12, "?k= default (latent class count)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	trace := flag.Bool("trace", false, "record per-request spans; span tree printed on stderr at exit")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// runCtx bounds every pipeline run the cache starts; cancelling it on
+	// shutdown aborts in-flight runs between months / stages.
+	runCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer("hfserved")
+	}
+	srv := serve.New(serve.Options{
+		CacheSize:    *cache,
+		MaxRuns:      *maxRuns,
+		Workers:      *workers,
+		MaxScale:     *maxScale,
+		DefaultScale: *defaultScale,
+		DefaultK:     *defaultK,
+		Metrics:      obs.NewRegistry(),
+		Trace:        tracer,
+		Pprof:        *pprofFlag,
+		BaseContext:  runCtx,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err) // bind failure etc.
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: cancelling in-flight runs, draining for up to %s", *shutdownTimeout)
+	cancelRuns()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	if tracer != nil {
+		obs.WriteText(os.Stderr, tracer.Finish())
+	}
+	log.Printf("bye")
+}

@@ -5,7 +5,7 @@
 //
 // Each configuration's wall time and memory figures are recorded in an obs
 // registry and reported alongside the claim table, so sweep runs double as
-// perf baselines; -metrics dumps the raw registry.
+// perf baselines; -metrics dumps the raw registry on stderr.
 //
 // Usage:
 //
@@ -38,7 +38,7 @@ func main() {
 	models := flag.Bool("models", true, "include the statistical models (slower)")
 	k := flag.Int("k", 8, "latent class count (smaller than 12 keeps sweeps fast)")
 	workers := flag.Int("workers", 0, "concurrent analysis stages per run (0 = GOMAXPROCS)")
-	metrics := flag.Bool("metrics", false, "dump the sweep's obs registry in Prometheus text format")
+	metrics := flag.Bool("metrics", false, "dump the sweep's obs registry in Prometheus text format on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -129,9 +129,10 @@ func main() {
 	fmt.Fprintf(w, "p50/p90\t%.2fs/%.2fs\t\t\n", h.Quantile(0.5), h.Quantile(0.9))
 	w.Flush()
 
+	// Metrics go to stderr (matching hfanalyze/hfgen) so the Prometheus
+	// text never interleaves with the claim and perf tables on stdout.
 	if *metrics {
-		fmt.Println()
-		obs.WritePrometheus(os.Stdout, reg)
+		obs.WritePrometheus(os.Stderr, reg)
 	}
 	if *memprofile != "" {
 		if err := obs.WriteHeapProfile(*memprofile); err != nil {

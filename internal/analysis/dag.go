@@ -178,6 +178,26 @@ var StageNames = func() []string {
 	return names
 }()
 
+// ValidateStages reports the first unknown name among names as an error
+// listing the declared stage vocabulary; a nil or empty list is valid.
+// It is the upfront form of the check selectStages performs, so callers
+// (CLIs rejecting flags, the HTTP server answering 400) can fail fast
+// before generating a corpus or starting a run.
+func ValidateStages(names []string) error {
+	for _, name := range names {
+		if _, ok := stageIndex[name]; !ok {
+			return unknownStageError(name)
+		}
+	}
+	return nil
+}
+
+// unknownStageError is the canonical bad-stage-name error: it names the
+// culprit and lists the full valid vocabulary.
+func unknownStageError(name string) error {
+	return fmt.Errorf("analysis: unknown stage %q (valid: %s)", name, strings.Join(StageNames, ", "))
+}
+
 // selectStages resolves a requested subset to the set of stageTable
 // indexes to run, in table order: each requested stage plus its
 // transitive dependencies, minus the model tier when skipModels is set.
@@ -199,7 +219,7 @@ func selectStages(requested []string, skipModels bool) ([]int, error) {
 	add = func(name string) error {
 		i, ok := stageIndex[name]
 		if !ok {
-			return fmt.Errorf("analysis: unknown stage %q (valid: %s)", name, strings.Join(StageNames, ", "))
+			return unknownStageError(name)
 		}
 		if selected[i] {
 			return nil
@@ -215,7 +235,7 @@ func selectStages(requested []string, skipModels bool) ([]int, error) {
 	for _, name := range requested {
 		i, ok := stageIndex[name]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown stage %q (valid: %s)", name, strings.Join(StageNames, ", "))
+			return nil, unknownStageError(name)
 		}
 		if skipModels && stageTable[i].model {
 			return nil, fmt.Errorf("analysis: stage %q is a model stage and unavailable with SkipModels", name)

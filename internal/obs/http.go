@@ -1,0 +1,14 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format — the /metrics endpoint of hfserved. Each request renders a fresh
+// Snapshot, so the handler is safe to mount once and scrape forever; a nil
+// registry serves an empty (but valid) exposition.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+}

@@ -1,0 +1,59 @@
+// Benchmarks contrasting the two request regimes of the analysis service:
+// a cache hit (LRU lookup + render + HTTP) versus a cold request that
+// pays for a full generate→analyse pipeline run. Run with
+//
+//	go test -bench 'Serve' -benchtime 3x ./internal/serve/
+//
+// The gap is the cache's value proposition: hits are microseconds-to-
+// milliseconds while cold runs are seconds at real scales.
+package serve_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"turnup/internal/serve"
+)
+
+// benchGet fetches url and discards the body.
+func benchGet(b *testing.B, url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: code=%d", url, resp.StatusCode)
+	}
+}
+
+// BenchmarkServeCacheHit measures a repeated identical request: after one
+// priming run, every iteration is an LRU hit.
+func BenchmarkServeCacheHit(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Options{}))
+	defer ts.Close()
+	url := ts.URL + "/v1/report/growth?seed=1&scale=0.02&models=false"
+	benchGet(b, url) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, url)
+	}
+}
+
+// BenchmarkServeCold measures unique requests: every iteration uses a
+// fresh seed, so each pays for a full pipeline run through the real
+// runner at Scale 0.02 (descriptive stages only).
+func BenchmarkServeCold(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Options{}))
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, fmt.Sprintf("%s/v1/report/growth?seed=%d&scale=0.02&models=false", ts.URL, i+1000))
+	}
+}

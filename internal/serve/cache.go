@@ -1,0 +1,225 @@
+// Package serve exposes the simulate→analyse pipeline as an HTTP service
+// (command hfserved). Its core is a deduplicating result cache: requests
+// are keyed by their run parameters, identical concurrent requests
+// coalesce onto one underlying pipeline run (a thundering herd costs one
+// run), completed results live in a size-bounded LRU, and a semaphore caps
+// how many pipeline runs execute at once while cache hits are served
+// immediately. See DESIGN.md §3.3.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"turnup"
+	"turnup/internal/obs"
+)
+
+// Params keys one pipeline run: the generation knobs (Seed, Scale) plus
+// the analysis knobs (K, Models, Stages). Two requests with equal
+// canonical Params are the same run — the LRU and the coalescer both key
+// on Params.Key. Scheduler width (Options.Workers) is deliberately not
+// part of the key: results are bit-for-bit identical at any worker count.
+type Params struct {
+	Seed   uint64
+	Scale  float64
+	K      int
+	Models bool
+	Stages []string
+}
+
+// Canon returns p with the stage list sorted and deduplicated, so listing
+// the same stages in a different order cannot split the cache. Stage
+// selection is set-valued (the scheduler adds transitive deps and runs in
+// DAG order), so reordering is semantics-preserving.
+func (p Params) Canon() Params {
+	if len(p.Stages) > 1 {
+		st := append([]string(nil), p.Stages...)
+		sort.Strings(st)
+		out := st[:0]
+		for i, s := range st {
+			if i == 0 || s != st[i-1] {
+				out = append(out, s)
+			}
+		}
+		p.Stages = out
+	}
+	return p
+}
+
+// Key renders the canonical cache key.
+func (p Params) Key() string {
+	return fmt.Sprintf("seed=%d scale=%g k=%d models=%t stages=%s",
+		p.Seed, p.Scale, p.K, p.Models, strings.Join(p.Stages, ","))
+}
+
+// Status classifies how a request was satisfied; it is exported to
+// clients as the X-Cache response header.
+type Status string
+
+const (
+	// StatusHit — served from the completed-results LRU; no pipeline work.
+	StatusHit Status = "hit"
+	// StatusMiss — this request started the underlying pipeline run.
+	StatusMiss Status = "miss"
+	// StatusCoalesced — joined a run an earlier identical request started.
+	StatusCoalesced Status = "coalesced"
+)
+
+// RunFunc executes one pipeline run for the given parameters. The
+// production runner generates a corpus and runs the analysis suite; tests
+// substitute stubs to pin cache mechanics without pipeline cost.
+type RunFunc func(ctx context.Context, p Params) (*turnup.Results, error)
+
+// Cache is the deduplicating result cache. All three request outcomes are
+// counted in the registry (serve_cache_{hits,misses,coalesced}_total,
+// serve_cache_evictions_total) so cache behaviour is observable on
+// /metrics, which is also how the tests assert it.
+type Cache struct {
+	runner RunFunc
+	base   context.Context // run lifetime: cancelling it aborts in-flight runs
+	sem    chan struct{}   // caps concurrent pipeline runs
+	cap    int             // completed results retained
+	reg    *obs.Registry
+
+	mu       sync.Mutex
+	order    *list.List               // completed *cacheEntry, front = most recent
+	byKey    map[string]*list.Element // Params.Key → order element
+	inflight map[string]*flight       // Params.Key → running flight
+}
+
+// cacheEntry is one completed result in the LRU.
+type cacheEntry struct {
+	key string
+	res *turnup.Results
+}
+
+// flight is one in-progress run; every coalesced waiter blocks on done,
+// which is closed only after res/err are set.
+type flight struct {
+	done chan struct{}
+	res  *turnup.Results
+	err  error
+}
+
+// NewCache builds a cache over runner. base bounds the lifetime of every
+// run this cache starts (nil means background — runs are then only
+// bounded by completion); capacity is the number of completed results
+// retained (<=0 means 64); maxRuns caps concurrent runs (<=0 means 2).
+func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, reg *obs.Registry) *Cache {
+	if base == nil {
+		base = context.Background()
+	}
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if maxRuns <= 0 {
+		maxRuns = 2
+	}
+	return &Cache{
+		runner:   runner,
+		base:     base,
+		sem:      make(chan struct{}, maxRuns),
+		cap:      capacity,
+		reg:      reg,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the results for p: from the LRU when present, by joining an
+// identical in-flight run when one exists, and otherwise by starting the
+// pipeline (subject to the run semaphore). The run itself executes under
+// the cache's base context, not ctx — a caller whose ctx is cancelled
+// merely stops waiting while the run completes for the cache and any
+// other waiters; cancelling the base context (server shutdown) aborts the
+// run through the pipeline's context threading.
+func (c *Cache) Get(ctx context.Context, p Params) (*turnup.Results, Status, error) {
+	p = p.Canon()
+	key := p.Key()
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		c.reg.Counter("serve_cache_hits_total").Inc()
+		return res, StatusHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.reg.Counter("serve_cache_coalesced_total").Inc()
+		return c.wait(ctx, f, StatusCoalesced)
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	c.reg.Counter("serve_cache_misses_total").Inc()
+	go c.run(key, p, f)
+	return c.wait(ctx, f, StatusMiss)
+}
+
+// wait blocks until the flight completes or the caller's ctx is done.
+func (c *Cache) wait(ctx context.Context, f *flight, s Status) (*turnup.Results, Status, error) {
+	select {
+	case <-f.done:
+		return f.res, s, f.err
+	case <-ctx.Done():
+		return nil, s, ctx.Err()
+	}
+}
+
+// run is the flight leader: it acquires a run slot, executes the pipeline
+// under the base context, publishes the outcome to every waiter, and
+// installs successful results into the LRU. Errors are not cached — the
+// next identical request retries.
+func (c *Cache) run(key string, p Params, f *flight) {
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.base.Done():
+		c.finish(key, f, nil, c.base.Err())
+		return
+	}
+	defer func() { <-c.sem }()
+
+	c.reg.Gauge("serve_runs_inflight").Add(1)
+	start := time.Now()
+	res, err := c.runner(c.base, p)
+	c.reg.Gauge("serve_runs_inflight").Add(-1)
+	c.reg.Histogram("serve_run_seconds").Observe(time.Since(start).Seconds())
+	c.reg.Counter("serve_runs_total").Inc()
+	c.finish(key, f, res, err)
+}
+
+// finish retires the flight: it leaves the in-flight table, a successful
+// result enters the LRU front (evicting beyond capacity from the back),
+// and done is closed to release every waiter.
+func (c *Cache) finish(key string, f *flight, res *turnup.Results, err error) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+		for c.order.Len() > c.cap {
+			back := c.order.Back()
+			delete(c.byKey, back.Value.(*cacheEntry).key)
+			c.order.Remove(back)
+			c.reg.Counter("serve_cache_evictions_total").Inc()
+		}
+	}
+	c.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// Len reports the number of completed results currently held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"turnup"
+	"turnup/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with sane defaults:
+// a 64-entry cache, 2 concurrent pipeline runs, GOMAXPROCS analysis
+// workers per run, scales up to 1.0, and a fresh metrics registry.
+type Options struct {
+	CacheSize int // completed results retained in the LRU (default 64)
+	MaxRuns   int // concurrent pipeline runs (default 2); hits bypass this cap
+	Workers   int // analysis stages per run; 0 = GOMAXPROCS (not part of the cache key)
+
+	MaxScale     float64 // largest accepted ?scale= (default 1.0, the paper-sized corpus)
+	DefaultScale float64 // ?scale= default (default 0.05)
+	DefaultK     int     // ?k= default (default 12, the paper's choice)
+
+	// Metrics receives request, cache, and run metrics and is exported on
+	// /metrics; a fresh registry is created when nil.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records one child span per request under the
+	// tracer's root (method, path, status, cache outcome).
+	Trace *obs.Tracer
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Runner substitutes the pipeline (tests); nil means the real
+	// generate→analyse pipeline.
+	Runner RunFunc
+	// BaseContext bounds every pipeline run this server starts; cancel it
+	// on shutdown to abort in-flight runs. Nil means context.Background().
+	BaseContext context.Context
+}
+
+// Server is the HTTP analysis service: section reports over a
+// deduplicating result cache, plus the sections/stages registries,
+// health, and metrics. It implements http.Handler.
+type Server struct {
+	opts       Options
+	reg        *obs.Registry
+	cache      *Cache
+	mux        *http.ServeMux
+	modelStage map[string]bool // stage name → model tier (for 400s under models=false)
+	start      time.Time
+}
+
+// New builds a Server from opts (see Options for defaults).
+func New(opts Options) *Server {
+	if opts.MaxScale <= 0 {
+		opts.MaxScale = 1.0
+	}
+	if opts.DefaultScale <= 0 {
+		opts.DefaultScale = 0.05
+	}
+	if opts.DefaultK <= 0 {
+		opts.DefaultK = 12
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = pipelineRunner(opts.Workers)
+	}
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Metrics,
+		cache:      NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.Metrics),
+		mux:        http.NewServeMux(),
+		modelStage: make(map[string]bool),
+		start:      time.Now(),
+	}
+	for _, st := range turnup.Stages() {
+		s.modelStage[st.Name] = st.Model
+	}
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/report/{section}", s.handleReport)
+	s.mux.HandleFunc("GET /v1/sections", s.handleSections)
+	s.mux.HandleFunc("GET /v1/stages", s.handleStages)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// pipelineRunner is the production RunFunc: generate the corpus for
+// (Seed, Scale), then run the analysis suite. Both halves honour ctx, so
+// cancelling the server's base context aborts a run between simulated
+// months or between analysis stages.
+func pipelineRunner(workers int) RunFunc {
+	return func(ctx context.Context, p Params) (*turnup.Results, error) {
+		d, err := turnup.GenerateCtx(ctx, turnup.Config{Seed: p.Seed, Scale: p.Scale})
+		if err != nil {
+			return nil, err
+		}
+		return turnup.RunCtx(ctx, d, turnup.RunOptions{
+			Seed:         p.Seed,
+			LatentClassK: p.K,
+			SkipModels:   !p.Models,
+			Workers:      workers,
+			Stages:       p.Stages,
+		})
+	}
+}
+
+// Cache exposes the result cache (tests and the healthz entry count).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServeHTTP dispatches through the mux under the request-level
+// observability contract: a request counter, an in-flight gauge, a
+// latency histogram, an error counter for 4xx/5xx, and — when tracing is
+// enabled — one span per request annotated with status and cache outcome.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve_http_requests_total").Inc()
+	s.reg.Gauge("serve_http_inflight").Add(1)
+	var sp *obs.Span
+	if s.opts.Trace != nil {
+		sp = s.opts.Trace.Root().StartChild("http " + r.Method + " " + r.URL.Path)
+	}
+	rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rw, r)
+	s.reg.Histogram("serve_http_seconds").Observe(time.Since(start).Seconds())
+	s.reg.Gauge("serve_http_inflight").Add(-1)
+	if rw.code >= 400 {
+		s.reg.Counter("serve_http_errors_total").Inc()
+	}
+	if sp != nil {
+		sp.SetInt("status", rw.code)
+		if cs := rw.Header().Get("X-Cache"); cs != "" {
+			sp.SetAttr("cache", cs)
+		}
+		sp.End()
+	}
+}
+
+// statusWriter records the response code for metrics and spans.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// reportResponse is the JSON body of /v1/report.
+type reportResponse struct {
+	Params   Params   `json:"params"`
+	Sections []string `json:"sections,omitempty"` // empty = full report
+	Cache    Status   `json:"cache"`
+	Report   string   `json:"report"`
+}
+
+// handleReport serves GET /v1/report[/{section}]: parse and validate the
+// run parameters and section names (400 lists the valid vocabulary), get
+// results through the cache, and render as text or JSON. The {section}
+// path element accepts a comma-separated list.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sections := splitList(r.PathValue("section"))
+	if err := turnup.ValidateSections(sections...); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	res, status, err := s.cache.Get(r.Context(), p)
+	if err != nil {
+		// Cancellation means shutdown (base context) or a vanished client
+		// (request context); neither is a server fault.
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, r, code, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(status))
+	if wantJSON(r) {
+		var b strings.Builder
+		_ = turnup.Render(&b, res, sections...) // names validated above; Builder writes cannot fail
+		s.writeJSON(w, http.StatusOK, reportResponse{Params: p, Sections: sections, Cache: status, Report: b.String()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = turnup.Render(w, res, sections...)
+}
+
+// parseParams extracts and validates the run parameters from the query
+// string. Unknown stage names and model stages under models=false are
+// rejected here — before a corpus is generated — with the same
+// vocabulary-listing errors the CLIs print.
+func (s *Server) parseParams(r *http.Request) (Params, error) {
+	q := r.URL.Query()
+	p := Params{Seed: 1, Scale: s.opts.DefaultScale, K: s.opts.DefaultK, Models: true}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed %q: want an unsigned integer", v)
+		}
+		p.Seed = n
+	}
+	if v := q.Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad scale %q: want a number", v)
+		}
+		p.Scale = f
+	}
+	if p.Scale <= 0 || p.Scale > s.opts.MaxScale {
+		return p, fmt.Errorf("scale %g out of range (0, %g]", p.Scale, s.opts.MaxScale)
+	}
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("bad k %q: want a positive integer", v)
+		}
+		p.K = n
+	}
+	if v := q.Get("models"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, fmt.Errorf("bad models %q: want a boolean", v)
+		}
+		p.Models = b
+	}
+	p.Stages = splitList(q.Get("stages"))
+	if err := turnup.ValidateStages(p.Stages...); err != nil {
+		return p, err
+	}
+	if !p.Models {
+		for _, st := range p.Stages {
+			if s.modelStage[st] {
+				return p, fmt.Errorf("stage %q is a model stage and unavailable with models=false", st)
+			}
+		}
+	}
+	return p, nil
+}
+
+// handleSections serves the report-section vocabulary.
+func (s *Server) handleSections(w http.ResponseWriter, r *http.Request) {
+	if wantJSON(r) {
+		s.writeJSON(w, http.StatusOK, turnup.Sections())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, strings.Join(turnup.Sections(), "\n"))
+}
+
+// handleStages serves the analysis stage DAG (name, deps, model tier).
+func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
+	type stageJSON struct {
+		Name  string   `json:"name"`
+		Deps  []string `json:"deps,omitempty"`
+		Model bool     `json:"model,omitempty"`
+	}
+	stages := turnup.Stages()
+	if wantJSON(r) {
+		out := make([]stageJSON, len(stages))
+		for i, st := range stages {
+			out[i] = stageJSON{Name: st.Name, Deps: st.Deps, Model: st.Model}
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, st := range stages {
+		fmt.Fprintf(w, "%s deps=%s model=%t\n", st.Name, strings.Join(st.Deps, ","), st.Model)
+	}
+}
+
+// handleHealthz reports liveness plus a little state: uptime and the
+// number of cached results.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s cached=%d\n", time.Since(s.start).Round(time.Second), s.cache.Len())
+}
+
+// fail writes an error response in the request's preferred format.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, err error) {
+	if wantJSON(r) {
+		s.writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// writeJSON writes v as the response body with the given status code.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// wantJSON decides the response format: ?format= wins (json or text),
+// then an Accept header naming application/json.
+func wantJSON(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "text":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// splitList parses a comma-separated value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

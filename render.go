@@ -108,6 +108,26 @@ func Sections() []string {
 	return names
 }
 
+// ValidateSections reports the first unknown name among names as an error
+// listing the registered section vocabulary; an empty list is valid. It is
+// the upfront form of the check Render performs, so callers (hfanalyze
+// rejecting -sections, hfserved answering 400) can fail before running the
+// pipeline rather than after.
+func ValidateSections(names ...string) error {
+	for _, name := range names {
+		if _, ok := sectionIndex[name]; !ok {
+			return unknownSectionError(name)
+		}
+	}
+	return nil
+}
+
+// unknownSectionError is the canonical bad-section-name error: it names
+// the culprit and lists the full valid vocabulary.
+func unknownSectionError(name string) error {
+	return fmt.Errorf("turnup: unknown section %q (valid: %s)", name, strings.Join(Sections(), ", "))
+}
+
 // Render writes the named sections of the results to w, in the order
 // given. With no section names it renders every section in canonical
 // order (the RenderAll output). Sections whose results were not computed
@@ -124,7 +144,7 @@ func Render(w io.Writer, r *Results, sections ...string) error {
 	for _, name := range sections {
 		i, ok := sectionIndex[name]
 		if !ok {
-			return fmt.Errorf("turnup: unknown section %q (valid: %s)", name, strings.Join(Sections(), ", "))
+			return unknownSectionError(name)
 		}
 		if _, err := io.WriteString(w, sectionTable[i].render(r)); err != nil {
 			return err

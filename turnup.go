@@ -132,6 +132,21 @@ func RunCtx(ctx context.Context, d *Dataset, opts RunOptions) (*Results, error) 
 	}, rng.New(opts.Seed))
 }
 
+// StageInfo describes one declared stage of the analysis DAG: its name,
+// the stages whose results it reads, and whether it belongs to the
+// statistical-model tier that SkipModels drops.
+type StageInfo = analysis.StageInfo
+
+// Stages returns the declared analysis stage DAG in canonical
+// (topological) order — the vocabulary RunOptions.Stages accepts.
+func Stages() []StageInfo { return analysis.Stages() }
+
+// ValidateStages reports an error naming the valid stage vocabulary when
+// any requested stage name is unknown. RunCtx would fail identically, but
+// validating upfront lets callers reject bad input before generating a
+// corpus (hfanalyze) or admitting a request (hfserved's 400 responses).
+func ValidateStages(names ...string) error { return analysis.ValidateStages(names) }
+
 // Compare builds the paper-vs-measured comparison rows for EXPERIMENTS.md.
 func Compare(r *Results) []report.Comparison { return report.Compare(r) }
 
