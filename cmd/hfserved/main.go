@@ -6,20 +6,29 @@
 //
 // Endpoints:
 //
-//	GET /v1/report                  full report (all sections)
-//	GET /v1/report/{section}        one or more (comma-separated) sections
-//	    ?seed= &scale= &k= &models= &stages= &format=text|json
-//	GET /v1/sections                report-section vocabulary
-//	GET /v1/stages                  analysis stage DAG (name, deps, model)
-//	GET /healthz                    liveness + uptime + cache entry count
-//	GET /metrics                    Prometheus text exposition
-//	GET /debug/pprof/...            with -pprof
+//	GET    /v1/report               full report (all sections)
+//	GET    /v1/report/{section}     one or more (comma-separated) sections
+//	       ?seed= &scale= &k= &models= &stages= &dataset= &format=text|json
+//	POST   /v1/datasets             upload an hfgen CSV pair (multipart or zip)
+//	GET    /v1/datasets             list stored datasets (id, digest, counts, ledger)
+//	DELETE /v1/datasets/{id}        drop a stored dataset
+//	GET    /v1/sections             report-section vocabulary
+//	GET    /v1/stages               analysis stage DAG (name, deps, model)
+//	GET    /healthz                 liveness + uptime + cache/dataset counts
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /debug/pprof/...         with -pprof
+//
+// Reports over an uploaded corpus (?dataset=<id>) skip generation and
+// analyse the stored dataset; uploaded corpora carry no ledger, so those
+// responses set X-Dataset-Ledger: absent and the §4.5 audit reports its
+// high-value contracts as unverifiable.
 //
 // Usage:
 //
 //	hfserved -addr :8080
 //	hfserved -cache 128 -max-runs 4 -workers 8
 //	hfserved -max-scale 0.25 -default-scale 0.05
+//	hfserved -max-datasets 8 -max-dataset-bytes 67108864
 //	hfserved -pprof -trace           # pprof endpoints + span tree on exit
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight pipeline runs are
@@ -53,6 +62,8 @@ func main() {
 	maxScale := flag.Float64("max-scale", 1.0, "largest accepted ?scale= parameter")
 	defaultScale := flag.Float64("default-scale", 0.05, "?scale= default")
 	defaultK := flag.Int("default-k", 12, "?k= default (latent class count)")
+	maxDatasets := flag.Int("max-datasets", 16, "uploaded datasets retained (LRU eviction beyond)")
+	maxDatasetBytes := flag.Int64("max-dataset-bytes", 256<<20, "per-upload body cap and total dataset-store bytes")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := flag.Bool("trace", false, "record per-request spans; span tree printed on stderr at exit")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
@@ -70,16 +81,18 @@ func main() {
 		tracer = obs.NewTracer("hfserved")
 	}
 	srv := serve.New(serve.Options{
-		CacheSize:    *cache,
-		MaxRuns:      *maxRuns,
-		Workers:      *workers,
-		MaxScale:     *maxScale,
-		DefaultScale: *defaultScale,
-		DefaultK:     *defaultK,
-		Metrics:      obs.NewRegistry(),
-		Trace:        tracer,
-		Pprof:        *pprofFlag,
-		BaseContext:  runCtx,
+		CacheSize:       *cache,
+		MaxRuns:         *maxRuns,
+		Workers:         *workers,
+		MaxScale:        *maxScale,
+		DefaultScale:    *defaultScale,
+		DefaultK:        *defaultK,
+		MaxDatasets:     *maxDatasets,
+		MaxDatasetBytes: *maxDatasetBytes,
+		Metrics:         obs.NewRegistry(),
+		Trace:           tracer,
+		Pprof:           *pprofFlag,
+		BaseContext:     runCtx,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

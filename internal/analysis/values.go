@@ -94,7 +94,7 @@ func Values(d *dataset.Dataset) ValueReport {
 		PerContract: make(map[forum.ContractID]float64),
 		ByType:      make(map[forum.ContractType]TypeValueSummary),
 	}
-	ledgerEmpty := d.Ledger == nil || d.Ledger.Len() == 0
+	ledgerEmpty := !d.HasLedger()
 	actAcc := map[textmine.Category]*ValueRow{}
 	methAcc := map[textmine.Method]*MethodValueRow{}
 	userValue := map[forum.UserID]float64{}

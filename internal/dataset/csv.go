@@ -273,24 +273,17 @@ func (d *Dataset) SaveDir(dir string) error {
 
 // LoadDir reads a dataset saved with SaveDir.
 func LoadDir(dir string) (*Dataset, error) {
-	d := New()
 	cf, err := os.Open(filepath.Join(dir, "contracts.csv"))
 	if err != nil {
 		return nil, err
 	}
 	defer cf.Close()
-	if d.Contracts, err = ReadContractsCSV(cf); err != nil {
-		return nil, err
-	}
 	uf, err := os.Open(filepath.Join(dir, "users.csv"))
 	if err != nil {
 		return nil, err
 	}
 	defer uf.Close()
-	if d.Users, err = ReadUsersCSV(uf); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return Read(cf, uf)
 }
 
 func formatTime(t time.Time) string {

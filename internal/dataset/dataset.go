@@ -230,7 +230,10 @@ func (d *Dataset) Summary() Stats {
 
 // Validate checks dataset invariants: every contract references known
 // users, times are ordered and inside the study window, private contracts
-// carry no obligation text, and disputed contracts are public.
+// carry no obligation text, and disputed contracts are public. Thread
+// references are only checkable when the thread table is populated —
+// datasets loaded from the CSV pair (Load, Read) legitimately carry
+// contract thread IDs without threads.csv.
 func (d *Dataset) Validate() error {
 	for _, c := range d.Contracts {
 		if _, ok := d.Users[c.Maker]; !ok {
@@ -239,7 +242,7 @@ func (d *Dataset) Validate() error {
 		if _, ok := d.Users[c.Taker]; !ok {
 			return fmt.Errorf("dataset: contract %d references unknown taker %d", c.ID, c.Taker)
 		}
-		if c.Thread != 0 {
+		if c.Thread != 0 && len(d.Threads) > 0 {
 			if _, ok := d.Threads[c.Thread]; !ok {
 				return fmt.Errorf("dataset: contract %d references unknown thread %d", c.ID, c.Thread)
 			}

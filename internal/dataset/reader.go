@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// Read parses a dataset from its CSV pair — the format hfgen writes and
+// LoadDir reads from disk — so callers holding in-memory bytes (an HTTP
+// upload, a zip member) can build a Dataset without touching the
+// filesystem. Like LoadDir, the result carries an empty ledger: chain
+// evidence is not part of the CSV schema, so the §4.5 audit reports
+// high-value contracts as unverifiable (see Dataset.HasLedger).
+func Read(contracts, users io.Reader) (*Dataset, error) {
+	d := New()
+	var err error
+	if d.Contracts, err = ReadContractsCSV(contracts); err != nil {
+		return nil, err
+	}
+	if d.Users, err = ReadUsersCSV(users); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// HasLedger reports whether the dataset carries chain evidence the §4.5
+// audit can verify against. Generated datasets do; datasets round-tripped
+// through CSV (Load, Read) do not.
+func (d *Dataset) HasLedger() bool {
+	return d.Ledger != nil && d.Ledger.Len() > 0
+}
+
+// Digest returns the SHA-256 (hex) over the dataset's canonical CSV
+// serialisation — contracts.csv bytes then users.csv bytes, exactly as
+// SaveDir writes them — plus the canonical byte count. Because the
+// writers emit deterministic output (users ordered by ID, contracts in
+// slice order), equal corpora digest equally regardless of how they were
+// obtained, and the digest is stable across upload/save/load round-trips.
+func (d *Dataset) Digest() (string, int64) {
+	h := sha256.New()
+	cw := &countingWriter{w: h}
+	// The CSV writers only fail on underlying writer errors; hashes and
+	// counters cannot fail.
+	_ = WriteContractsCSV(cw, d.Contracts)
+	_ = WriteUsersCSV(cw, d.Users)
+	return hex.EncodeToString(h.Sum(nil)), cw.n
+}
+
+// countingWriter counts bytes on their way into the digest.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

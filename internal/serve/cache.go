@@ -10,9 +10,11 @@ package serve
 import (
 	"container/list"
 	"context"
-	"fmt"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -20,23 +22,27 @@ import (
 	"turnup/internal/obs"
 )
 
-// Params keys one pipeline run: the generation knobs (Seed, Scale) plus
+// Params keys one pipeline run: the corpus source (generate from Seed and
+// Scale, or load the uploaded dataset with content digest Dataset) plus
 // the analysis knobs (K, Models, Stages). Two requests with equal
 // canonical Params are the same run — the LRU and the coalescer both key
 // on Params.Key. Scheduler width (Options.Workers) is deliberately not
 // part of the key: results are bit-for-bit identical at any worker count.
 type Params struct {
-	Seed   uint64
-	Scale  float64
-	K      int
-	Models bool
-	Stages []string
+	Seed    uint64
+	Scale   float64
+	K       int
+	Models  bool
+	Stages  []string
+	Dataset string // content digest of an uploaded dataset; "" = generate
 }
 
 // Canon returns p with the stage list sorted and deduplicated, so listing
 // the same stages in a different order cannot split the cache. Stage
 // selection is set-valued (the scheduler adds transitive deps and runs in
-// DAG order), so reordering is semantics-preserving.
+// DAG order), so reordering is semantics-preserving. When the corpus is an
+// uploaded dataset, Scale is zeroed: it only parameterises generation, and
+// keeping a stray value would split the cache for identical runs.
 func (p Params) Canon() Params {
 	if len(p.Stages) > 1 {
 		st := append([]string(nil), p.Stages...)
@@ -49,13 +55,42 @@ func (p Params) Canon() Params {
 		}
 		p.Stages = out
 	}
+	if p.Dataset != "" {
+		p.Scale = 0
+	}
 	return p
 }
 
-// Key renders the canonical cache key.
+// Key returns the canonical cache key: the SHA-256 (hex) of an injective
+// binary encoding of the canonical Params. Fixed-width fields plus
+// length-prefixed strings make the encoding collision-proof — unlike the
+// printf-joined key it replaces, no stage or dataset token containing a
+// separator ("," or " ") can alias two distinct Params onto one key.
 func (p Params) Key() string {
-	return fmt.Sprintf("seed=%d scale=%g k=%d models=%t stages=%s",
-		p.Seed, p.Scale, p.K, p.Models, strings.Join(p.Stages, ","))
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putStr := func(s string) {
+		put(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	put(p.Seed)
+	put(math.Float64bits(p.Scale))
+	put(uint64(p.K))
+	if p.Models {
+		put(1)
+	} else {
+		put(0)
+	}
+	putStr(p.Dataset)
+	put(uint64(len(p.Stages)))
+	for _, st := range p.Stages {
+		putStr(st)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Status classifies how a request was satisfied; it is exported to
@@ -180,13 +215,24 @@ func (c *Cache) wait(ctx context.Context, f *flight, s Status) (*turnup.Results,
 // installs successful results into the LRU. Errors are not cached — the
 // next identical request retries.
 func (c *Cache) run(key string, p Params, f *flight) {
+	// A select between the semaphore and base.Done() chooses randomly when
+	// both are ready, so a run could launch after server shutdown; checking
+	// shutdown first (and again after acquiring a slot) closes that race.
+	if err := context.Cause(c.base); err != nil {
+		c.finish(key, f, nil, err)
+		return
+	}
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.base.Done():
-		c.finish(key, f, nil, c.base.Err())
+		c.finish(key, f, nil, context.Cause(c.base))
 		return
 	}
 	defer func() { <-c.sem }()
+	if err := context.Cause(c.base); err != nil {
+		c.finish(key, f, nil, err)
+		return
+	}
 
 	c.reg.Gauge("serve_runs_inflight").Add(1)
 	start := time.Now()

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"archive/zip"
+	"bytes"
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"turnup"
+	"turnup/internal/obs"
+)
+
+// DatasetInfo describes one stored dataset as /v1/datasets lists it. The
+// Ledger marker is explicit ("present" or "absent") rather than a silent
+// degradation: uploaded CSV corpora carry no chain evidence, so the §4.5
+// audit reports their high-value contracts as unverifiable, and clients
+// deserve to know that before reading the report.
+type DatasetInfo struct {
+	ID        string `json:"id"`
+	Digest    string `json:"digest"`
+	Users     int    `json:"users"`
+	Contracts int    `json:"contracts"`
+	Bytes     int64  `json:"bytes"`
+	Ledger    string `json:"ledger"` // "present" | "absent"
+}
+
+// ledgerMarker renders the explicit ledger flag for d.
+func ledgerMarker(d *turnup.Dataset) string {
+	if d.HasLedger() {
+		return "present"
+	}
+	return "absent"
+}
+
+// Store is the size/count-bounded in-memory dataset store behind the
+// /v1/datasets endpoints. Datasets are identified by a short id derived
+// from their content digest, so re-uploading identical bytes is
+// idempotent; least-recently-used datasets are evicted once the store
+// exceeds its count or canonical-byte bounds. All mutations are counted
+// in the registry (serve_datasets_{uploads,deletes,evictions}_total plus
+// the serve_datasets_{count,bytes} gauges) so store behaviour is
+// observable on /metrics.
+type Store struct {
+	maxCount int
+	maxBytes int64
+	reg      *obs.Registry
+
+	mu       sync.Mutex
+	bytes    int64
+	order    *list.List               // *storeEntry, front = most recently used
+	byID     map[string]*list.Element // DatasetInfo.ID → order element
+	byDigest map[string]*list.Element // full digest → order element
+}
+
+// storeEntry is one stored dataset.
+type storeEntry struct {
+	info DatasetInfo
+	d    *turnup.Dataset
+}
+
+// NewStore builds a dataset store retaining at most maxCount datasets and
+// maxBytes total canonical CSV bytes (<=0 means 16 datasets / 256 MiB).
+func NewStore(maxCount int, maxBytes int64, reg *obs.Registry) *Store {
+	if maxCount <= 0 {
+		maxCount = 16
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Store{
+		maxCount: maxCount,
+		maxBytes: maxBytes,
+		reg:      reg,
+		order:    list.New(),
+		byID:     make(map[string]*list.Element),
+		byDigest: make(map[string]*list.Element),
+	}
+}
+
+// Add stores d and returns its listing entry; created reports whether the
+// dataset was new (false: identical content was already stored, and the
+// existing entry was refreshed). A dataset larger than the whole store is
+// rejected rather than admitted-then-evicted.
+func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err error) {
+	digest, n := d.Digest()
+	if n > s.maxBytes {
+		return DatasetInfo{}, false, fmt.Errorf("dataset of %d canonical bytes exceeds the store bound of %d", n, s.maxBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byDigest[digest]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*storeEntry).info, false, nil
+	}
+	id := "ds-" + digest[:16]
+	if _, ok := s.byID[id]; ok {
+		// Distinct digests sharing a 64-bit id prefix — astronomically
+		// unlikely, but refuse rather than alias.
+		return DatasetInfo{}, false, fmt.Errorf("dataset id %s collides with a stored dataset of different content", id)
+	}
+	sum := d.Summary()
+	e := &storeEntry{
+		info: DatasetInfo{
+			ID:        id,
+			Digest:    digest,
+			Users:     sum.Users,
+			Contracts: sum.Contracts,
+			Bytes:     n,
+			Ledger:    ledgerMarker(d),
+		},
+		d: d,
+	}
+	el := s.order.PushFront(e)
+	s.byID[id] = el
+	s.byDigest[digest] = el
+	s.bytes += n
+	s.reg.Counter("serve_datasets_uploads_total").Inc()
+	for s.order.Len() > s.maxCount || s.bytes > s.maxBytes {
+		s.evictBack()
+		s.reg.Counter("serve_datasets_evictions_total").Inc()
+	}
+	s.gauges()
+	return e.info, true, nil
+}
+
+// evictBack drops the least-recently-used dataset; callers hold mu.
+func (s *Store) evictBack() {
+	back := s.order.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*storeEntry)
+	delete(s.byID, e.info.ID)
+	delete(s.byDigest, e.info.Digest)
+	s.bytes -= e.info.Bytes
+	s.order.Remove(back)
+}
+
+// gauges refreshes the count/byte gauges; callers hold mu.
+func (s *Store) gauges() {
+	s.reg.Gauge("serve_datasets_count").Set(float64(s.order.Len()))
+	s.reg.Gauge("serve_datasets_bytes").Set(float64(s.bytes))
+}
+
+// Info returns the listing entry for id, refreshing its recency — request
+// resolution counts as use, so datasets being queried stay resident.
+func (s *Store) Info(id string) (DatasetInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return DatasetInfo{}, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).info, true
+}
+
+// ByDigest returns the stored dataset with the given content digest — the
+// runner's load path, keyed the same way as the result cache.
+func (s *Store) ByDigest(digest string) (*turnup.Dataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byDigest[digest]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).d, true
+}
+
+// List returns every stored dataset, most recently used first.
+func (s *Store) List() []DatasetInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storeEntry).info)
+	}
+	return out
+}
+
+// Delete removes the dataset with the given id, reporting whether it was
+// present. Cached report results keyed on its digest survive, but new
+// requests naming the id answer 404.
+func (s *Store) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*storeEntry)
+	delete(s.byID, e.info.ID)
+	delete(s.byDigest, e.info.Digest)
+	s.bytes -= e.info.Bytes
+	s.order.Remove(el)
+	s.reg.Counter("serve_datasets_deletes_total").Inc()
+	s.gauges()
+	return true
+}
+
+// Len reports the number of stored datasets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// handleDatasetUpload serves POST /v1/datasets: accept the hfgen CSV pair
+// as multipart form files ("contracts", "users") or as a zip archive
+// containing contracts.csv and users.csv, parse and digest it, and store
+// it for ?dataset= report requests. Oversized bodies answer 413, parse
+// failures 400. Responses carry the listing entry; re-uploading identical
+// content answers 200 with the existing entry instead of 201.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxDatasetBytes)
+	var d *turnup.Dataset
+	var err error
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "multipart/"):
+		d, err = readMultipartDataset(r)
+	case strings.Contains(ct, "zip"), ct == "", ct == "application/octet-stream":
+		d, err = readZipDataset(r.Body)
+	default:
+		s.fail(w, r, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q: want multipart/form-data or application/zip", ct))
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, r, code, err)
+		return
+	}
+	if err := d.Validate(); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	info, created, err := s.datasets.Add(d)
+	if err != nil {
+		s.fail(w, r, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	s.writeJSON(w, code, info)
+}
+
+// readMultipartDataset pulls the CSV pair out of a multipart form. The
+// canonical field names are "contracts" and "users"; files named
+// contracts.csv / users.csv are accepted under any field name.
+func readMultipartDataset(r *http.Request) (*turnup.Dataset, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, err
+	}
+	var contracts, users []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b, err := io.ReadAll(part)
+		part.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case part.FormName() == "contracts", part.FileName() == "contracts.csv":
+			contracts = b
+		case part.FormName() == "users", part.FileName() == "users.csv":
+			users = b
+		}
+	}
+	return readPair(contracts, users)
+}
+
+// readZipDataset reads body as a zip archive holding contracts.csv and
+// users.csv (any directory prefix).
+func readZipDataset(body io.Reader) (*turnup.Dataset, error) {
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	zr, err := zip.NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("reading zip body: %w", err)
+	}
+	var contracts, users []byte
+	for _, zf := range zr.File {
+		name := zf.Name
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if name != "contracts.csv" && name != "users.csv" {
+			continue
+		}
+		f, err := zf.Open()
+		if err != nil {
+			return nil, err
+		}
+		b, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if name == "contracts.csv" {
+			contracts = b
+		} else {
+			users = b
+		}
+	}
+	return readPair(contracts, users)
+}
+
+// readPair parses the two CSV bodies into a Dataset, requiring both.
+func readPair(contracts, users []byte) (*turnup.Dataset, error) {
+	if contracts == nil {
+		return nil, errors.New("upload is missing contracts.csv (multipart field \"contracts\")")
+	}
+	if users == nil {
+		return nil, errors.New("upload is missing users.csv (multipart field \"users\")")
+	}
+	return turnup.ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
+}
+
+// handleDatasetList serves GET /v1/datasets.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	infos := s.datasets.List()
+	if wantJSON(r) {
+		s.writeJSON(w, http.StatusOK, infos)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, in := range infos {
+		fmt.Fprintf(w, "%s digest=%s users=%d contracts=%d bytes=%d ledger=%s\n",
+			in.ID, in.Digest, in.Users, in.Contracts, in.Bytes, in.Ledger)
+	}
+}
+
+// handleDatasetDelete serves DELETE /v1/datasets/{id}.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.datasets.Delete(id) {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

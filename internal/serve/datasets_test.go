@@ -1,0 +1,415 @@
+// Tests for the dataset subsystem: multipart and zip uploads, the
+// digest-keyed store (dedupe, LRU eviction, deletion), upload error paths
+// (malformed CSV, oversized body, unknown id), the ledger-absent marker,
+// and the end-to-end acceptance path — an uploaded hfgen CSV pair served
+// through ?dataset= renders the same section text as analysing the same
+// directory locally, with X-Cache miss then hit.
+package serve_test
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"turnup"
+	"turnup/internal/dataset"
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+var (
+	dsOnce sync.Once
+	dsData *turnup.Dataset
+	dsErr  error
+)
+
+// tinyDataset generates one small corpus shared by the upload tests.
+func tinyDataset(t testing.TB) *turnup.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsData, dsErr = turnup.Generate(turnup.Config{Seed: 7, Scale: 0.01})
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsData
+}
+
+// csvPair serialises d exactly as hfgen writes it.
+func csvPair(t testing.TB, d *turnup.Dataset) (contracts, users []byte) {
+	t.Helper()
+	var cb, ub bytes.Buffer
+	if err := dataset.WriteContractsCSV(&cb, d.Contracts); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteUsersCSV(&ub, d.Users); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), ub.Bytes()
+}
+
+// multipartBody builds a POST /v1/datasets body from the CSV pair; parts
+// maps field name → content, so error tests can omit or corrupt parts.
+func multipartBody(t testing.TB, parts map[string][]byte) (string, *bytes.Buffer) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for field, content := range parts {
+		fw, err := mw.CreateFormFile(field, field+".csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mw.FormDataContentType(), &body
+}
+
+// upload POSTs a dataset and decodes the DatasetInfo response.
+func upload(t *testing.T, baseURL string, contracts, users []byte) (int, serve.DatasetInfo) {
+	t.Helper()
+	ct, body := multipartBody(t, map[string][]byte{"contracts": contracts, "users": users})
+	resp, err := http.Post(baseURL+"/v1/datasets", ct, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info serve.DatasetInfo
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &info); err != nil {
+			t.Fatalf("decoding upload response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, info
+}
+
+// TestDatasetUploadReportEndToEnd is the acceptance path: hfgen-format
+// CSVs uploaded via POST /v1/datasets, then GET /v1/report/growth with
+// ?dataset= renders exactly what hfanalyze renders over the same files,
+// with X-Cache miss then hit and the explicit ledger-absent marker.
+func TestDatasetUploadReportEndToEnd(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code=%d, want 201", code)
+	}
+	wantDigest, wantBytes := d.Digest()
+	if info.Digest != wantDigest || info.Bytes != wantBytes {
+		t.Fatalf("upload info digest=%s bytes=%d, want %s/%d", info.Digest, info.Bytes, wantDigest, wantBytes)
+	}
+	sum := d.Summary()
+	if info.Users != sum.Users || info.Contracts != sum.Contracts {
+		t.Fatalf("upload info counts %d/%d, want %d/%d", info.Users, info.Contracts, sum.Users, sum.Contracts)
+	}
+	if info.Ledger != "absent" {
+		t.Fatalf("uploaded CSV dataset ledger = %q, want \"absent\"", info.Ledger)
+	}
+
+	// What hfanalyze would print for the same CSV pair: load, run, render.
+	loaded, err := turnup.ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := turnup.Run(loaded, turnup.RunOptions{Seed: 5, SkipModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := turnup.Render(&want, res, "growth"); err != nil {
+		t.Fatal(err)
+	}
+
+	url := fmt.Sprintf("%s/v1/report/growth?dataset=%s&seed=5&models=false", ts.URL, info.ID)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("cold dataset report: code=%d cache=%q, want 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if got := resp.Header.Get("X-Dataset-Ledger"); got != "absent" {
+		t.Fatalf("X-Dataset-Ledger = %q, want \"absent\"", got)
+	}
+	if string(body) != want.String() {
+		t.Fatalf("served dataset report differs from local analysis:\nserved:\n%s\nlocal:\n%s", body, want.String())
+	}
+
+	code2, cache, _ := get(t, url)
+	if code2 != http.StatusOK || cache != "hit" {
+		t.Fatalf("repeat dataset report: code=%d cache=%q, want 200 hit", code2, cache)
+	}
+
+	// The listing carries the stored entry with its explicit ledger marker.
+	var list []serve.DatasetInfo
+	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/datasets?format=json")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != info.ID || list[0].Ledger != "absent" {
+		t.Fatalf("dataset list = %+v", list)
+	}
+	if metrics := mustGet(t, ts.URL+"/metrics"); !strings.Contains(metrics, "serve_datasets_uploads_total 1") {
+		t.Fatalf("/metrics missing upload counter:\n%s", metrics)
+	}
+}
+
+// TestDatasetZipUpload covers the alternative upload encoding: one zip
+// archive holding contracts.csv and users.csv.
+func TestDatasetZipUpload(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for name, content := range map[string][]byte{"data/contracts.csv": contracts, "data/users.csv": users} {
+		f, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/zip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info serve.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("zip upload code=%d, want 201", resp.StatusCode)
+	}
+	wantDigest, _ := d.Digest()
+	if info.Digest != wantDigest {
+		t.Fatalf("zip upload digest=%s, want %s (same content, same digest)", info.Digest, wantDigest)
+	}
+}
+
+// TestDatasetUploadErrors pins the upload failure modes to their status
+// codes: malformed CSV and missing halves 400, an oversized body 413, an
+// unsupported encoding 415, and an unknown ?dataset= id 404.
+func TestDatasetUploadErrors(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	srv := serve.New(serve.Options{
+		MaxDatasetBytes: 4096,
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			t.Error("pipeline ran for an invalid request")
+			return nil, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Malformed CSV (bad header) → 400. Bodies stay under the 4096-byte
+	// cap so the parse error, not the size cap, is what answers.
+	ct, body := multipartBody(t, map[string][]byte{"contracts": []byte("not,a,contract\n1,2,3\n"), "users": []byte("id\n")})
+	if resp, err := http.Post(ts.URL+"/v1/datasets", ct, body); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed CSV upload code=%d, want 400", resp.StatusCode)
+	}
+
+	// Missing users half → 400 naming the missing file.
+	ct, body = multipartBody(t, map[string][]byte{"contracts": []byte("stub")})
+	resp, err := http.Post(ts.URL+"/v1/datasets", ct, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(raw), "users.csv") {
+		t.Fatalf("missing-part upload: code=%d body=%q, want 400 naming users.csv", resp.StatusCode, raw)
+	}
+
+	// Oversized body (MaxDatasetBytes 4096 above) → 413.
+	ct, body = multipartBody(t, map[string][]byte{"contracts": contracts, "users": users})
+	if resp, err := http.Post(ts.URL+"/v1/datasets", ct, body); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload code=%d, want 413", resp.StatusCode)
+	}
+
+	// Unsupported content type → 415.
+	if resp, err := http.Post(ts.URL+"/v1/datasets", "text/plain", strings.NewReader("hello")); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain upload code=%d, want 415", resp.StatusCode)
+	}
+
+	// Junk zip body → 400.
+	if resp, err := http.Post(ts.URL+"/v1/datasets", "application/zip", strings.NewReader("PKjunk")); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk zip upload code=%d, want 400", resp.StatusCode)
+	}
+
+	// Unknown dataset id on the report path → 404; dataset+scale → 400.
+	if code, _, _ := get(t, ts.URL+"/v1/report/growth?dataset=ds-nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset report code=%d, want 404", code)
+	}
+	code, _, errBody := get(t, ts.URL+"/v1/report/growth?dataset=ds-nope&scale=0.05")
+	if code != http.StatusBadRequest || !strings.Contains(errBody, "scale") {
+		t.Fatalf("dataset+scale report: code=%d body=%q, want 400 about scale", code, errBody)
+	}
+}
+
+// variantDataset returns a copy of d with the contract list truncated by
+// drop entries — distinct content, hence a distinct digest — cheap enough
+// to mint several datasets without re-running the simulator.
+func variantDataset(d *turnup.Dataset, drop int) *turnup.Dataset {
+	v := *d
+	v.Contracts = d.Contracts[:len(d.Contracts)-drop]
+	return &v
+}
+
+// TestDatasetStoreEvictionAndDedupe pins the store bounds: identical
+// re-uploads dedupe onto the existing entry, and exceeding -max-datasets
+// evicts the least-recently-used dataset (observable on /metrics and as a
+// 404 for subsequent ?dataset= requests).
+func TestDatasetStoreEvictionAndDedupe(t *testing.T) {
+	d := tinyDataset(t)
+	res := tinyResults(t)
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Options{
+		MaxDatasets: 2,
+		Metrics:     reg,
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			return res, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var infos []serve.DatasetInfo
+	for drop := 0; drop < 3; drop++ {
+		contracts, users := csvPair(t, variantDataset(d, drop))
+		code, info := upload(t, ts.URL, contracts, users)
+		if code != http.StatusCreated {
+			t.Fatalf("upload %d code=%d, want 201", drop, code)
+		}
+		infos = append(infos, info)
+	}
+	if got := srv.Datasets().Len(); got != 2 {
+		t.Fatalf("store holds %d datasets, want 2", got)
+	}
+	// The first upload is the LRU victim: its id no longer resolves.
+	if code, _, _ := get(t, ts.URL+"/v1/report/growth?dataset="+infos[0].ID); code != http.StatusNotFound {
+		t.Fatalf("evicted dataset report code=%d, want 404", code)
+	}
+	// Re-uploading identical content answers 200 with the existing entry.
+	contracts, users := csvPair(t, variantDataset(d, 2))
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusOK || info.ID != infos[2].ID {
+		t.Fatalf("re-upload: code=%d id=%s, want 200 with id %s", code, info.ID, infos[2].ID)
+	}
+	metrics := mustGet(t, ts.URL+"/metrics")
+	for _, want := range []string{"serve_datasets_uploads_total 3", "serve_datasets_evictions_total 1", "serve_datasets_count 2"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestDatasetDelete covers DELETE /v1/datasets/{id}: 204 on success, the
+// id stops resolving, and a second delete answers 404.
+func TestDatasetDelete(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	srv := serve.New(serve.Options{
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			return tinyResults(t), nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code=%d", code)
+	}
+	del := func() int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+info.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusNoContent {
+		t.Fatalf("delete code=%d, want 204", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/v1/report/growth?dataset="+info.ID); code != http.StatusNotFound {
+		t.Fatalf("deleted dataset report code=%d, want 404", code)
+	}
+	if code := del(); code != http.StatusNotFound {
+		t.Fatalf("double delete code=%d, want 404", code)
+	}
+	if srv.Datasets().Len() != 0 {
+		t.Fatalf("store not empty after delete: %d", srv.Datasets().Len())
+	}
+}
+
+// TestReadCSVRoundTrip pins the facade reader: parsing the canonical CSV
+// pair reproduces the corpus (same digest, same counts) with the ledger
+// explicitly absent.
+func TestReadCSVRoundTrip(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	got, err := turnup.ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, wantBytes := d.Digest()
+	gotDigest, gotBytes := got.Digest()
+	if gotDigest != wantDigest || gotBytes != wantBytes {
+		t.Fatalf("round-trip digest %s/%d, want %s/%d", gotDigest, gotBytes, wantDigest, wantBytes)
+	}
+	if got.HasLedger() {
+		t.Fatal("CSV round-trip kept a ledger; HasLedger must report false")
+	}
+	if d.HasLedger() != (d.Ledger.Len() > 0) {
+		t.Fatal("generated dataset ledger flag inconsistent")
+	}
+	if len(got.Contracts) != len(d.Contracts) || len(got.Users) != len(d.Users) {
+		t.Fatalf("round-trip counts %d/%d, want %d/%d", len(got.Contracts), len(got.Users), len(d.Contracts), len(d.Users))
+	}
+}

@@ -1,0 +1,108 @@
+// Tests for the canonical cache key: the collision regression the
+// printf-joined key failed (separator-bearing tokens aliasing distinct
+// Params), a stages-permutation property pinning order-insensitivity, and
+// the shutdown pre-check that keeps runs from launching after the base
+// context is cancelled.
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"turnup"
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+// TestParamsKeyCollisionRegression: two distinct canonical Params must
+// never share a key. Every pair here aliased under the old printf key
+// ("stages=" joined with "," and fields joined with " ") or probes a
+// nearby seam; the length-prefixed digest encoding keeps them apart.
+func TestParamsKeyCollisionRegression(t *testing.T) {
+	distinct := []serve.Params{
+		{Seed: 1, Stages: []string{"a,b"}},             // old key: stages=a,b
+		{Seed: 1, Stages: []string{"a", "b"}},          // old key: stages=a,b — collision
+		{Seed: 1, Stages: []string{"a b"}},             // space inside a token
+		{Seed: 1, Stages: []string{"a", "b", "c"}},     //
+		{Seed: 1, Stages: []string{"a", "b,c"}},        // old key: stages=a,b,c — collision
+		{Seed: 1, Stages: []string{"ab"}},              //
+		{Seed: 1, Dataset: "ab"},                       // dataset token vs stage token
+		{Seed: 1, Dataset: "a", Stages: []string{"b"}}, //
+		{Seed: 1, Dataset: "a b"},                      // old key field separator inside token
+		{Seed: 1},                                      //
+		{Seed: 1, Models: true},                        //
+		{Seed: 1, Scale: 0.5},                          //
+		{Seed: 1, Scale: 0.5, K: 12},                   //
+		{Seed: 12, Scale: 0.5},                         //
+	}
+	seen := map[string]serve.Params{}
+	for _, p := range distinct {
+		key := p.Canon().Key()
+		if prev, ok := seen[key]; ok {
+			t.Errorf("distinct Params share a key:\n  %+v\n  %+v\n  key %s", prev, p, key)
+		}
+		seen[key] = p
+	}
+}
+
+// TestParamsKeyStagePermutation is the order-insensitivity property:
+// Canon() must map every permutation (and duplication) of a stage list
+// onto one cache key.
+func TestParamsKeyStagePermutation(t *testing.T) {
+	stages := []string{"Taxonomy", "Growth", "Values", "ZIPAll", "Cohorts", "Network"}
+	want := serve.Params{Seed: 3, Scale: 0.1, K: 12, Models: true, Stages: stages}.Canon().Key()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		perm := make([]string, 0, len(stages)+2)
+		for _, j := range rng.Perm(len(stages)) {
+			perm = append(perm, stages[j])
+		}
+		// Duplicates are deduped by Canon and must not change the key.
+		perm = append(perm, perm[rng.Intn(len(perm))])
+		p := serve.Params{Seed: 3, Scale: 0.1, K: 12, Models: true, Stages: perm}
+		if got := p.Canon().Key(); got != want {
+			t.Fatalf("permutation %v keyed %s, want %s", perm, got, want)
+		}
+	}
+	// Scale is generation-only: with a dataset set, Canon zeroes it so a
+	// stray client-sent scale cannot split the cache.
+	a := serve.Params{Seed: 3, Scale: 0.3, Dataset: "d"}.Canon().Key()
+	b := serve.Params{Seed: 3, Scale: 0.7, Dataset: "d"}.Canon().Key()
+	if a != b {
+		t.Fatal("dataset-backed Params with different scales split the cache")
+	}
+}
+
+// TestCancelledBaseNeverLaunchesRun pins the shutdown pre-check in
+// Cache.run: once the base context is cancelled, no pipeline run may
+// launch, even with free semaphore slots. The old select between the
+// semaphore and base.Done() chose randomly when both were ready, so 200
+// distinct requests would launch ~100 runs; the pre-check launches none.
+func TestCancelledBaseNeverLaunchesRun(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	cancel()
+	var launched atomic.Int64
+	c := serve.NewCache(base, func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		launched.Add(1)
+		return nil, nil
+	}, 8, 4, obs.NewRegistry())
+
+	for i := 0; i < 200; i++ {
+		_, _, err := c.Get(context.Background(), serve.Params{Seed: uint64(i)})
+		if err == nil {
+			t.Fatal("request succeeded after shutdown")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("request %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	if n := launched.Load(); n != 0 {
+		t.Fatalf("%d pipeline runs launched after base-context cancellation, want 0", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after cancelled runs", c.Len())
+	}
+}

@@ -27,6 +27,13 @@ type Options struct {
 	DefaultScale float64 // ?scale= default (default 0.05)
 	DefaultK     int     // ?k= default (default 12, the paper's choice)
 
+	// MaxDatasets bounds how many uploaded datasets the store retains
+	// (default 16); beyond it the least-recently-used dataset is evicted.
+	MaxDatasets int
+	// MaxDatasetBytes bounds both one upload's body size (413 beyond) and
+	// the total canonical CSV bytes the store retains (default 256 MiB).
+	MaxDatasetBytes int64
+
 	// Metrics receives request, cache, and run metrics and is exported on
 	// /metrics; a fresh registry is created when nil.
 	Metrics *obs.Registry
@@ -50,6 +57,7 @@ type Server struct {
 	opts       Options
 	reg        *obs.Registry
 	cache      *Cache
+	datasets   *Store
 	mux        *http.ServeMux
 	modelStage map[string]bool // stage name → model tier (for 400s under models=false)
 	start      time.Time
@@ -66,21 +74,25 @@ func New(opts Options) *Server {
 	if opts.DefaultK <= 0 {
 		opts.DefaultK = 12
 	}
+	if opts.MaxDatasetBytes <= 0 {
+		opts.MaxDatasetBytes = 256 << 20
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
-	}
-	runner := opts.Runner
-	if runner == nil {
-		runner = pipelineRunner(opts.Workers)
 	}
 	s := &Server{
 		opts:       opts,
 		reg:        opts.Metrics,
-		cache:      NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.Metrics),
+		datasets:   NewStore(opts.MaxDatasets, opts.MaxDatasetBytes, opts.Metrics),
 		mux:        http.NewServeMux(),
 		modelStage: make(map[string]bool),
 		start:      time.Now(),
 	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = s.pipelineRunner(opts.Workers)
+	}
+	s.cache = NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.Metrics)
 	for _, st := range turnup.Stages() {
 		s.modelStage[st.Name] = st.Model
 	}
@@ -88,6 +100,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/report/{section}", s.handleReport)
 	s.mux.HandleFunc("GET /v1/sections", s.handleSections)
 	s.mux.HandleFunc("GET /v1/stages", s.handleStages)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	if opts.Pprof {
@@ -100,15 +115,24 @@ func New(opts Options) *Server {
 	return s
 }
 
-// pipelineRunner is the production RunFunc: generate the corpus for
-// (Seed, Scale), then run the analysis suite. Both halves honour ctx, so
-// cancelling the server's base context aborts a run between simulated
-// months or between analysis stages.
-func pipelineRunner(workers int) RunFunc {
+// pipelineRunner is the production RunFunc: obtain the corpus — generate
+// it for (Seed, Scale), or load the uploaded dataset whose content digest
+// is Params.Dataset — then run the analysis suite. Both halves honour
+// ctx, so cancelling the server's base context aborts a run between
+// simulated months or between analysis stages.
+func (s *Server) pipelineRunner(workers int) RunFunc {
 	return func(ctx context.Context, p Params) (*turnup.Results, error) {
-		d, err := turnup.GenerateCtx(ctx, turnup.Config{Seed: p.Seed, Scale: p.Scale})
-		if err != nil {
-			return nil, err
+		var d *turnup.Dataset
+		if p.Dataset != "" {
+			var ok bool
+			if d, ok = s.datasets.ByDigest(p.Dataset); !ok {
+				return nil, fmt.Errorf("dataset %.16s… is no longer stored (deleted or evicted)", p.Dataset)
+			}
+		} else {
+			var err error
+			if d, err = turnup.GenerateCtx(ctx, turnup.Config{Seed: p.Seed, Scale: p.Scale}); err != nil {
+				return nil, err
+			}
 		}
 		return turnup.RunCtx(ctx, d, turnup.RunOptions{
 			Seed:         p.Seed,
@@ -122,6 +146,9 @@ func pipelineRunner(workers int) RunFunc {
 
 // Cache exposes the result cache (tests and the healthz entry count).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Datasets exposes the dataset store (tests and the healthz entry count).
+func (s *Server) Datasets() *Store { return s.datasets }
 
 // ServeHTTP dispatches through the mux under the request-level
 // observability contract: a request counter, an in-flight gauge, a
@@ -167,13 +194,18 @@ type reportResponse struct {
 	Params   Params   `json:"params"`
 	Sections []string `json:"sections,omitempty"` // empty = full report
 	Cache    Status   `json:"cache"`
-	Report   string   `json:"report"`
+	// Ledger marks dataset-backed reports whose corpus carries no chain
+	// evidence ("absent"): their §4.5 audit is unverifiable rather than
+	// silently empty. Omitted for generated corpora.
+	Ledger string `json:"ledger,omitempty"`
+	Report string `json:"report"`
 }
 
 // handleReport serves GET /v1/report[/{section}]: parse and validate the
-// run parameters and section names (400 lists the valid vocabulary), get
-// results through the cache, and render as text or JSON. The {section}
-// path element accepts a comma-separated list.
+// run parameters and section names (400 lists the valid vocabulary; an
+// unknown ?dataset= id 404s), get results through the cache, and render
+// as text or JSON. The {section} path element accepts a comma-separated
+// list.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sections := splitList(r.PathValue("section"))
 	if err := turnup.ValidateSections(sections...); err != nil {
@@ -184,6 +216,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
+	}
+	var ledger string
+	if id := r.URL.Query().Get("dataset"); id != "" {
+		if r.URL.Query().Get("scale") != "" {
+			s.fail(w, r, http.StatusBadRequest,
+				errors.New("scale cannot be combined with dataset: uploaded corpora are fixed, scale only parameterises generation"))
+			return
+		}
+		info, ok := s.datasets.Info(id)
+		if !ok {
+			s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q (see GET /v1/datasets)", id))
+			return
+		}
+		p.Dataset = info.Digest
+		ledger = info.Ledger
+		// The report header carries the explicit §4.5 marker: "absent"
+		// means the audit could not verify high-value contracts because
+		// the uploaded corpus has no ledger.
+		w.Header().Set("X-Dataset-Ledger", ledger)
 	}
 	res, status, err := s.cache.Get(r.Context(), p)
 	if err != nil {
@@ -200,7 +251,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if wantJSON(r) {
 		var b strings.Builder
 		_ = turnup.Render(&b, res, sections...) // names validated above; Builder writes cannot fail
-		s.writeJSON(w, http.StatusOK, reportResponse{Params: p, Sections: sections, Cache: status, Report: b.String()})
+		s.writeJSON(w, http.StatusOK, reportResponse{Params: p.Canon(), Sections: sections, Cache: status, Ledger: ledger, Report: b.String()})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -291,11 +342,12 @@ func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness plus a little state: uptime and the
-// number of cached results.
+// handleHealthz reports liveness plus a little state: uptime, the number
+// of cached results, and the number of stored datasets.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok uptime=%s cached=%d\n", time.Since(s.start).Round(time.Second), s.cache.Len())
+	fmt.Fprintf(w, "ok uptime=%s cached=%d datasets=%d\n",
+		time.Since(s.start).Round(time.Second), s.cache.Len(), s.datasets.Len())
 }
 
 // fail writes an error response in the request's preferred format.

@@ -19,6 +19,7 @@ package turnup
 
 import (
 	"context"
+	"io"
 
 	"turnup/internal/analysis"
 	"turnup/internal/dataset"
@@ -81,8 +82,18 @@ func Save(d *Dataset, dir string) error { return d.SaveDir(dir) }
 
 // Load reads a dataset previously written by Save. Loaded datasets carry
 // an empty ledger, so the §4.5 high-value audit reports chain-quoting
-// contracts as unverifiable.
+// contracts as unverifiable (see Dataset.HasLedger).
 func Load(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// ReadCSV parses a dataset from its CSV pair — the hfgen/Save format —
+// without touching the filesystem; it is the in-memory form of Load used
+// by hfserved's upload endpoint. The ledger caveat on Load applies: CSV
+// round-trips drop chain evidence, so d.HasLedger() reports false and the
+// §4.5 audit counts high-value contracts as unverifiable. Use
+// d.Digest() for the content digest the serving layer keys caches on.
+func ReadCSV(contracts, users io.Reader) (*Dataset, error) {
+	return dataset.Read(contracts, users)
+}
 
 // RunOptions selects which analyses Run performs.
 type RunOptions struct {
