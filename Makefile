@@ -4,11 +4,19 @@
 #   make tier2           # vet + tests under the race detector
 #   make bench-baseline  # 1x bench smoke → BENCH_baseline.json snapshot
 #   make bench-parallel  # sequential-vs-parallel suite → BENCH_parallel.json
+#   make bench-index     # index/memoisation benchmarks → BENCH_index.json
+#   make bench-smoke     # fail if the suite regresses >2x vs BENCH_index.json
 #   make bench-serve     # cache-hit vs cold-request latency
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-serve serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve serve
+
+# Benchmarks that claim parallel speedups must run at full machine width;
+# an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
+# them into sequential measurements, which is how the original
+# BENCH_parallel.json came to be recorded at gomaxprocs 1.
+NPROC := $(shell nproc 2>/dev/null || echo 1)
 
 tier1:
 	go build ./... && go test ./...
@@ -31,21 +39,51 @@ bench-baseline:
 	> BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
 
+# Shared JSON emitter for -benchmem benchmark output: one object per
+# benchmark with iterations, ns/op, B/op, allocs/op, and the gomaxprocs
+# the run actually used (parsed from the -N name suffix; absent means 1).
+BENCH_JSON_AWK = 'BEGIN { print "{"; first = 1 } \
+	  /^Benchmark/ { name = $$1; procs = 1; \
+	    if (match(name, /-[0-9]+$$/)) { procs = substr(name, RSTART + 1); sub(/-[0-9]+$$/, "", name) } \
+	    if (!first) printf(",\n"); first = 0; \
+	    printf("  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"gomaxprocs\": %s}", name, $$2, $$3, $$5, $$7, procs) } \
+	  END { print "\n}" }'
+
 # Records the full suite (models, K=6, Scale 0.1) pinned to one worker vs
 # the default pool, plus the descriptive pair at bench scale, into
 # BENCH_parallel.json next to BENCH_baseline.json. The gomaxprocs field
 # qualifies the numbers: on one core the pairs coincide within noise.
 bench-parallel:
-	go test -run '^$$' -benchtime 3x . \
+	GOMAXPROCS=$(NPROC) go test -run '^$$' -benchtime 3x -benchmem . \
 	  -bench 'SuiteScale10|SuiteDescriptive(Sequential)?$$' \
-	| awk 'BEGIN { print "{"; first = 1 } \
-	  /^Benchmark/ { name = $$1; procs = 1; \
-	    if (match(name, /-[0-9]+$$/)) { procs = substr(name, RSTART + 1); sub(/-[0-9]+$$/, "", name) } \
-	    if (!first) printf(",\n"); first = 0; \
-	    printf("  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"gomaxprocs\": %s}", name, $$2, $$3, procs) } \
-	  END { print "\n}" }' \
+	| awk $(BENCH_JSON_AWK) \
 	> BENCH_parallel.json
-	@echo "wrote BENCH_parallel.json"
+	@echo "wrote BENCH_parallel.json (gomaxprocs $(NPROC))"
+
+# Records the analysis-index benchmarks — the descriptive suite over the
+# shared index, memoized vs direct corpus categorisation, and the cold
+# obligation-table build — into BENCH_index.json. BENCH_baseline.json is
+# the pre-index "before"; this file is the "after" and the bench-smoke
+# reference. Regenerate it (same machine class) when a hot path
+# intentionally changes.
+bench-index:
+	GOMAXPROCS=$(NPROC) go test -run '^$$' -benchtime 3x -benchmem . \
+	  -bench 'SuiteDescriptive$$|CategoriseCorpus|IndexObligationBuild' \
+	| awk $(BENCH_JSON_AWK) \
+	> BENCH_index.json
+	@echo "wrote BENCH_index.json (gomaxprocs $(NPROC))"
+
+# Fails when one run of the descriptive suite lands more than 2x above
+# the committed BENCH_index.json snapshot. One iteration is noisy, hence
+# the wide factor: this catches reintroduced corpus rescans (10x-class
+# regressions), not percent-level drift. CI runs it on every push.
+bench-smoke:
+	@snap=$$(awk '/"BenchmarkSuiteDescriptive"/ { match($$0, /"ns_per_op": [0-9.]+/); print substr($$0, RSTART + 13, RLENGTH - 13) }' BENCH_index.json); \
+	now=$$(go test -run '^$$' -bench 'SuiteDescriptive$$' -benchtime 1x . | awk '/^BenchmarkSuiteDescriptive/ { print $$3 }'); \
+	awk -v now="$$now" -v snap="$$snap" 'BEGIN { \
+	  if (now == "" || snap == "") { print "bench-smoke: missing measurement or snapshot"; exit 1 } \
+	  if (now + 0 > 2 * snap) { printf("bench-smoke: FAIL %.0f ns/op is >2x the %.0f snapshot\n", now, snap); exit 1 } \
+	  printf("bench-smoke: ok %.0f ns/op (%.2fx of the %.0f snapshot)\n", now, now / snap, snap) }'
 
 # Cache-hit vs cold-request latency for the HTTP analysis service; the
 # gap is the result cache's value proposition (see DESIGN.md §3.3).

@@ -1,0 +1,35 @@
+package turnup
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestRenderAllMatchesPreIndexGolden pins the analysis index migration to
+// the exact bytes the pre-index pipeline produced:
+// testdata/golden_suite_seed7_scale0.02_k6.txt was rendered by the
+// per-stage-rescan implementation (full suite, Seed 7, Scale 0.02, K 6)
+// before the shared Index existed. The indexed suite must reproduce it
+// byte-for-byte at every worker count — memoizing the corpus groupings
+// and obligation classifications is a pure performance change.
+func TestRenderAllMatchesPreIndexGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_suite_seed7_scale0.02_k6.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		res, err := Run(d, RunOptions{Seed: 7, LatentClassK: 6, Workers: w})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if got := RenderAll(res); got != string(want) {
+			t.Errorf("Workers=%d: RenderAll diverged from the pre-index golden (%d vs %d bytes)",
+				w, len(got), len(want))
+		}
+	}
+}

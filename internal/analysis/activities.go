@@ -32,11 +32,13 @@ type ActivitiesResult struct {
 }
 
 // Activities computes Table 3 over completed public contracts.
-func Activities(d *dataset.Dataset) ActivitiesResult {
-	return activitiesOver(d.CompletedPublic())
+func Activities(d *dataset.Dataset) ActivitiesResult { return activitiesIdx(NewIndex(d)) }
+
+func activitiesIdx(ix *Index) ActivitiesResult {
+	return activitiesOver(ix, ix.CompletedPublic())
 }
 
-func activitiesOver(cs []*forum.Contract) ActivitiesResult {
+func activitiesOver(ix *Index, cs []*forum.Contract) ActivitiesResult {
 	type acc struct {
 		makerContracts, takerContracts, bothContracts int
 		makerUsers, takerUsers, bothUsers             map[forum.UserID]bool
@@ -56,8 +58,8 @@ func activitiesOver(cs []*forum.Contract) ActivitiesResult {
 	}
 	totalAcc := get("__total__")
 	for _, c := range cs {
-		catsM := textmine.Categorize(c.MakerObligation)
-		catsT := textmine.Categorize(c.TakerObligation)
+		catsM := ix.MakerCategories(c)
+		catsT := ix.TakerCategories(c)
 		seenBoth := map[textmine.Category]bool{}
 		anyClassified := false
 		for _, cat := range catsM {
@@ -161,8 +163,10 @@ type ProductTrend struct {
 }
 
 // ProductTrends computes Figure 9.
-func ProductTrends(d *dataset.Dataset) ProductTrend {
-	overall := Activities(d)
+func ProductTrends(d *dataset.Dataset) ProductTrend { return productTrendsIdx(NewIndex(d)) }
+
+func productTrendsIdx(ix *Index) ProductTrend {
+	overall := activitiesIdx(ix)
 	var top []textmine.Category
 	for _, row := range overall.Rows {
 		if row.Category == textmine.CurrencyExchange || row.Category == textmine.Payments {
@@ -174,17 +178,17 @@ func ProductTrends(d *dataset.Dataset) ProductTrend {
 		}
 	}
 	counts := make(map[textmine.Category][dataset.NumMonths]int)
-	for _, c := range d.CompletedPublic() {
+	for _, c := range ix.CompletedPublic() {
 		at := c.Completed
 		if at.IsZero() {
 			at = c.Created
 		}
 		m := dataset.MonthOf(at)
 		matched := map[textmine.Category]bool{}
-		for _, cat := range textmine.Categorize(c.MakerObligation) {
+		for _, cat := range ix.MakerCategories(c) {
 			matched[cat] = true
 		}
-		for _, cat := range textmine.Categorize(c.TakerObligation) {
+		for _, cat := range ix.TakerCategories(c) {
 			matched[cat] = true
 		}
 		for _, cat := range top {

@@ -20,7 +20,11 @@ type ChangePoint struct {
 // rather than inferring them, and this scan shows the data independently
 // breaks near the same months (2019-03 and 2020-03/04).
 func ChangePoints(d *dataset.Dataset, top int) []ChangePoint {
-	byMonth := d.ByMonth()
+	return changePointsIdx(NewIndex(d), top)
+}
+
+func changePointsIdx(ix *Index, top int) []ChangePoint {
+	byMonth := ix.ByMonth()
 	var series [dataset.NumMonths]float64
 	for m := range byMonth {
 		series[m] = float64(len(byMonth[m]))

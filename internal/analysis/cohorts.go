@@ -20,30 +20,27 @@ type CohortRetention struct {
 }
 
 // Cohorts computes the retention matrix from contract participation.
-func Cohorts(d *dataset.Dataset) CohortRetention {
-	firstMonth := map[forum.UserID]int{}
-	activeIn := map[forum.UserID]map[int]bool{}
-	for _, c := range d.Contracts {
-		m := int(dataset.MonthOf(c.Created))
-		for _, u := range []forum.UserID{c.Maker, c.Taker} {
-			if prev, ok := firstMonth[u]; !ok || m < prev {
-				firstMonth[u] = m
-			}
-			set, ok := activeIn[u]
-			if !ok {
-				set = map[int]bool{}
-				activeIn[u] = set
-			}
-			set[m] = true
-		}
-	}
+func Cohorts(d *dataset.Dataset) CohortRetention { return cohortsIdx(NewIndex(d)) }
+
+func cohortsIdx(ix *Index) CohortRetention {
 	var r CohortRetention
 	var activeCounts [dataset.NumMonths][dataset.NumMonths]int
-	for u, c := range firstMonth {
-		r.Size[c]++
-		for m := range activeIn[u] {
-			if k := m - c; k >= 0 && k < dataset.NumMonths {
-				activeCounts[c][k]++
+	// Per-user retention is a pure count: iterating users in map order is
+	// fine because every accumulation below is commutative.
+	for _, cs := range ix.UserContracts() {
+		var active [dataset.NumMonths]bool
+		first := dataset.NumMonths
+		for _, c := range cs {
+			m := int(dataset.MonthOf(c.Created))
+			active[m] = true
+			if m < first {
+				first = m
+			}
+		}
+		r.Size[first]++
+		for m := first; m < dataset.NumMonths; m++ {
+			if active[m] {
+				activeCounts[first][m-first]++
 			}
 		}
 	}

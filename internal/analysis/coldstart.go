@@ -59,6 +59,11 @@ type ColdStartResult struct {
 // falls in STABLE, then re-clustering of the small outlier cluster into
 // (up to) eight groups.
 func ColdStart(d *dataset.Dataset, src *rng.Source) (*ColdStartResult, error) {
+	return coldStartIdx(NewIndex(d), src)
+}
+
+func coldStartIdx(ix *Index, src *rng.Source) (*ColdStartResult, error) {
+	d := ix.D
 	firstAccept, lastActivity := activitySpans(d)
 
 	// Cold starters: first accepted contract in STABLE.
@@ -73,7 +78,7 @@ func ColdStart(d *dataset.Dataset, src *rng.Source) (*ColdStartResult, error) {
 		return nil, fmt.Errorf("analysis: only %d cold starters", len(starters))
 	}
 
-	feats := featuresFor(d, starters, dataset.EraStable)
+	feats := featuresFor(ix, starters, dataset.EraStable)
 	raw := make([][]float64, len(feats))
 	for i, f := range feats {
 		// Power-transform (x^0.5) before standardising: the features are
@@ -236,18 +241,18 @@ func acceptedInEra(d *dataset.Dataset, e dataset.Era) map[forum.UserID]bool {
 
 // featuresFor computes the cold start variables for the users, measured
 // over contracts created in the given era plus their global post counts.
-func featuresFor(d *dataset.Dataset, users []forum.UserID, e dataset.Era) []ColdStartFeatures {
+func featuresFor(ix *Index, users []forum.UserID, e dataset.Era) []ColdStartFeatures {
 	idx := map[forum.UserID]int{}
 	feats := make([]ColdStartFeatures, len(users))
 	for i, u := range users {
 		idx[u] = i
 		feats[i].User = u
-		if user, ok := d.Users[u]; ok {
+		if user, ok := ix.D.Users[u]; ok {
 			feats[i].Posts = float64(user.Posts)
 			feats[i].MPosts = float64(user.MarketplacePosts)
 		}
 	}
-	for _, c := range d.InEra(e) {
+	for _, c := range ix.InEra(e) {
 		if i, ok := idx[c.Maker]; ok {
 			feats[i].Maker++
 			if c.Status == forum.StatusDisputed {

@@ -43,12 +43,14 @@ type Concentration struct {
 // contracts they are party to and report, for each prefix of the ranking,
 // the fraction of contracts involving at least one ranked user. Thread
 // curves do the same over thread-linked contracts.
-func Concentrate(d *dataset.Dataset) Concentration {
-	completed := d.Completed()
+func Concentrate(d *dataset.Dataset) Concentration { return concentrateIdx(NewIndex(d)) }
+
+func concentrateIdx(ix *Index) Concentration {
+	completed := ix.Completed()
 	return Concentration{
-		UsersCreated:     userCurve(d.Contracts),
+		UsersCreated:     userCurve(ix.D.Contracts),
 		UsersCompleted:   userCurve(completed),
-		ThreadsCreated:   threadCurve(d.Contracts),
+		ThreadsCreated:   threadCurve(ix.D.Contracts),
 		ThreadsCompleted: threadCurve(completed),
 	}
 }
@@ -142,10 +144,12 @@ type KeyShare struct {
 
 // KeyShares computes Figure 6. Key members and key threads are recomputed
 // per month, as the paper notes.
-func KeyShares(d *dataset.Dataset) KeyShare {
+func KeyShares(d *dataset.Dataset) KeyShare { return keySharesIdx(NewIndex(d)) }
+
+func keySharesIdx(ix *Index) KeyShare {
 	var r KeyShare
-	byMonth := d.ByMonth()
-	completedByMonth := d.CompletedByMonth()
+	byMonth := ix.ByMonth()
+	completedByMonth := ix.CompletedByMonth()
 	for m := 0; m < dataset.NumMonths; m++ {
 		r.MemberCreated[m] = keyMemberShare(byMonth[m])
 		r.MemberCompleted[m] = keyMemberShare(completedByMonth[m])
@@ -180,8 +184,12 @@ type Centralisation struct {
 
 // CentralisationTrend computes the monthly participation Gini.
 func CentralisationTrend(d *dataset.Dataset) Centralisation {
+	return centralisationTrendIdx(NewIndex(d))
+}
+
+func centralisationTrendIdx(ix *Index) Centralisation {
 	var out Centralisation
-	byMonth := d.ByMonth()
+	byMonth := ix.ByMonth()
 	for m := 0; m < dataset.NumMonths; m++ {
 		counts := map[forum.UserID]float64{}
 		for _, c := range byMonth[m] {

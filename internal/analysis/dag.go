@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"turnup/internal/dataset"
 	"turnup/internal/rng"
 )
 
@@ -20,23 +19,26 @@ type StageInfo struct {
 // stageSpec is the internal declaration of one Suite stage. fn computes
 // the stage into its own slot(s) of res and never writes another stage's
 // slot — that ownership discipline is what makes concurrent execution
-// safe without locks. rngLabel, when non-zero, assigns the stage a forked
-// RNG stream; the scheduler forks every labelled stream from the suite
-// source in declaration order before any stage runs, so streams are
-// identical for every worker count and stage subset (and match the
-// fork order of the old sequential pipeline).
+// safe without locks. Stages read the corpus through the run's shared
+// Index (ix.D for raw access), so derived groupings and the obligation
+// classification table are built once per run instead of once per stage.
+// rngLabel, when non-zero, assigns the stage a forked RNG stream; the
+// scheduler forks every labelled stream from the suite source in
+// declaration order before any stage runs, so streams are identical for
+// every worker count and stage subset (and match the fork order of the
+// old sequential pipeline).
 type stageSpec struct {
 	name     string
 	deps     []string
 	model    bool
 	rngLabel uint64
-	fn       func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, src *rng.Source) error
+	fn       func(ix *Index, res *Suite, opts *SuiteOptions, src *rng.Source) error
 }
 
 // pure wraps an infallible descriptive stage.
-func pure(fn func(d *dataset.Dataset, res *Suite)) func(*dataset.Dataset, *Suite, *SuiteOptions, *rng.Source) error {
-	return func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
-		fn(d, res)
+func pure(fn func(ix *Index, res *Suite)) func(*Index, *Suite, *SuiteOptions, *rng.Source) error {
+	return func(ix *Index, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+		fn(ix, res)
 		return nil
 	}
 }
@@ -46,30 +48,30 @@ func pure(fn func(d *dataset.Dataset, res *Suite)) func(*dataset.Dataset, *Suite
 // topological — every dep precedes its dependents — which init verifies
 // together with name uniqueness, so the scheduler can trust the table.
 var stageTable = []stageSpec{
-	{name: "Taxonomy", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Taxonomy = Taxonomy(d) })},
-	{name: "Visibility", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Visibility = Visibility(d) })},
-	{name: "Growth", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Growth = Growth(d) })},
-	{name: "PublicTrend", fn: pure(func(d *dataset.Dataset, res *Suite) { res.PublicTrend = PublicTrend(d) })},
-	{name: "TypeShares", fn: pure(func(d *dataset.Dataset, res *Suite) { res.TypeShares = TypeShareTrend(d) })},
-	{name: "CompletionTimes", fn: pure(func(d *dataset.Dataset, res *Suite) { res.CompletionTimes = CompletionTimeTrend(d) })},
-	{name: "Concentration", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Concentration = Concentrate(d) })},
-	{name: "KeyShares", fn: pure(func(d *dataset.Dataset, res *Suite) { res.KeyShares = KeyShares(d) })},
-	{name: "DegreesCreated", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreesCreated = DegreeDist(d.Contracts) })},
-	{name: "DegreesDone", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreesDone = DegreeDist(d.Completed()) })},
-	{name: "DegreeGrowth", fn: pure(func(d *dataset.Dataset, res *Suite) { res.DegreeGrowth = DegreeGrowthTrend(d, false) })},
-	{name: "Products", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Products = ProductTrends(d) })},
-	{name: "PaymentTrend", fn: pure(func(d *dataset.Dataset, res *Suite) { res.PaymentTrend = PaymentTrends(d) })},
-	{name: "Activities", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Activities = Activities(d) })},
-	{name: "Payments", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Payments = PaymentMethods(d) })},
-	{name: "ChangePoints", fn: pure(func(d *dataset.Dataset, res *Suite) { res.ChangePoints = ChangePoints(d, 3) })},
-	{name: "Participation", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Participation = Participation(d) })},
-	{name: "Disputes", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Disputes = Disputes(d) })},
-	{name: "Centralisation", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Centralisation = CentralisationTrend(d) })},
-	{name: "Cohorts", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Cohorts = Cohorts(d) })},
-	{name: "Corpus", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Corpus = Corpus(d) })},
-	{name: "Stimulus", fn: pure(func(d *dataset.Dataset, res *Suite) { res.Stimulus = StimulusTest(d) })},
-	{name: "Values", fn: func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, _ *rng.Source) error {
-		res.Values = Values(d)
+	{name: "Taxonomy", fn: pure(func(ix *Index, res *Suite) { res.Taxonomy = Taxonomy(ix.D) })},
+	{name: "Visibility", fn: pure(func(ix *Index, res *Suite) { res.Visibility = Visibility(ix.D) })},
+	{name: "Growth", fn: pure(func(ix *Index, res *Suite) { res.Growth = growthIdx(ix) })},
+	{name: "PublicTrend", fn: pure(func(ix *Index, res *Suite) { res.PublicTrend = publicTrendIdx(ix) })},
+	{name: "TypeShares", fn: pure(func(ix *Index, res *Suite) { res.TypeShares = typeShareTrendIdx(ix) })},
+	{name: "CompletionTimes", fn: pure(func(ix *Index, res *Suite) { res.CompletionTimes = CompletionTimeTrend(ix.D) })},
+	{name: "Concentration", fn: pure(func(ix *Index, res *Suite) { res.Concentration = concentrateIdx(ix) })},
+	{name: "KeyShares", fn: pure(func(ix *Index, res *Suite) { res.KeyShares = keySharesIdx(ix) })},
+	{name: "DegreesCreated", fn: pure(func(ix *Index, res *Suite) { res.DegreesCreated = DegreeDist(ix.D.Contracts) })},
+	{name: "DegreesDone", fn: pure(func(ix *Index, res *Suite) { res.DegreesDone = DegreeDist(ix.Completed()) })},
+	{name: "DegreeGrowth", fn: pure(func(ix *Index, res *Suite) { res.DegreeGrowth = degreeGrowthTrendIdx(ix, false) })},
+	{name: "Products", fn: pure(func(ix *Index, res *Suite) { res.Products = productTrendsIdx(ix) })},
+	{name: "PaymentTrend", fn: pure(func(ix *Index, res *Suite) { res.PaymentTrend = paymentTrendsIdx(ix) })},
+	{name: "Activities", fn: pure(func(ix *Index, res *Suite) { res.Activities = activitiesIdx(ix) })},
+	{name: "Payments", fn: pure(func(ix *Index, res *Suite) { res.Payments = paymentMethodsIdx(ix) })},
+	{name: "ChangePoints", fn: pure(func(ix *Index, res *Suite) { res.ChangePoints = changePointsIdx(ix, 3) })},
+	{name: "Participation", fn: pure(func(ix *Index, res *Suite) { res.Participation = participationIdx(ix) })},
+	{name: "Disputes", fn: pure(func(ix *Index, res *Suite) { res.Disputes = Disputes(ix.D) })},
+	{name: "Centralisation", fn: pure(func(ix *Index, res *Suite) { res.Centralisation = centralisationTrendIdx(ix) })},
+	{name: "Cohorts", fn: pure(func(ix *Index, res *Suite) { res.Cohorts = cohortsIdx(ix) })},
+	{name: "Corpus", fn: pure(func(ix *Index, res *Suite) { res.Corpus = Corpus(ix.D) })},
+	{name: "Stimulus", fn: pure(func(ix *Index, res *Suite) { res.Stimulus = StimulusTest(ix.D) })},
+	{name: "Values", fn: func(ix *Index, res *Suite, opts *SuiteOptions, _ *rng.Source) error {
+		res.Values = valuesIdx(ix)
 		if opts.Metrics != nil {
 			opts.Metrics.Counter("audit_high_value_total").Add(int64(res.Values.Audit.HighValue))
 			opts.Metrics.Counter("audit_confirmed_total").Add(int64(res.Values.Audit.Confirmed))
@@ -80,10 +82,10 @@ var stageTable = []stageSpec{
 		return nil
 	}},
 	{name: "ValueTrend", deps: []string{"Values"},
-		fn: pure(func(d *dataset.Dataset, res *Suite) { res.ValueTrend = ValueTrends(d, res.Values) })},
+		fn: pure(func(ix *Index, res *Suite) { res.ValueTrend = valueTrendsIdx(ix, res.Values) })},
 	{name: "LatentClasses", model: true, rngLabel: 1,
-		fn: func(d *dataset.Dataset, res *Suite, opts *SuiteOptions, src *rng.Source) error {
-			ltm, err := LatentClasses(d, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src)
+		fn: func(ix *Index, res *Suite, opts *SuiteOptions, src *rng.Source) error {
+			ltm, err := LatentClasses(ix.D, LTMOptions{K: opts.LatentClassK, Restarts: 2}, src)
 			if err != nil {
 				return fmt.Errorf("analysis: latent classes: %w", err)
 			}
@@ -91,10 +93,10 @@ var stageTable = []stageSpec{
 			return nil
 		}},
 	{name: "Flows", deps: []string{"LatentClasses"}, model: true,
-		fn: pure(func(d *dataset.Dataset, res *Suite) { res.Flows = Flows(d, res.LTM) })},
+		fn: pure(func(ix *Index, res *Suite) { res.Flows = Flows(ix.D, res.LTM) })},
 	{name: "ColdStart", model: true, rngLabel: 2,
-		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, src *rng.Source) error {
-			cs, err := ColdStart(d, src)
+		fn: func(ix *Index, res *Suite, _ *SuiteOptions, src *rng.Source) error {
+			cs, err := coldStartIdx(ix, src)
 			if err != nil {
 				return fmt.Errorf("analysis: cold start: %w", err)
 			}
@@ -102,17 +104,17 @@ var stageTable = []stageSpec{
 			return nil
 		}},
 	{name: "ZIPAll", model: true,
-		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+		fn: func(ix *Index, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
 			var err error
-			if res.ZIPAll, err = ZIPAllUsers(d); err != nil {
+			if res.ZIPAll, err = zipAllUsersIdx(ix); err != nil {
 				return fmt.Errorf("analysis: ZIP (all users): %w", err)
 			}
 			return nil
 		}},
 	{name: "ZIPSub", model: true,
-		fn: func(d *dataset.Dataset, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
+		fn: func(ix *Index, res *Suite, _ *SuiteOptions, _ *rng.Source) error {
 			var err error
-			if res.ZIPSub, err = ZIPSubgroups(d); err != nil {
+			if res.ZIPSub, err = zipSubgroupsIdx(ix); err != nil {
 				return fmt.Errorf("analysis: ZIP (subgroups): %w", err)
 			}
 			return nil

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"turnup/internal/dataset"
+	"turnup/internal/textmine"
+)
+
+// TestIndexMatchesDatasetScans pins every index group to the ad-hoc
+// Dataset scan it replaced.
+func TestIndexMatchesDatasetScans(t *testing.T) {
+	d := corpus(t)
+	ix := NewIndex(d)
+
+	if got, want := ix.ByMonth(), d.ByMonth(); !reflect.DeepEqual(got, want) {
+		t.Error("ByMonth diverges from Dataset.ByMonth")
+	}
+	if got, want := ix.CompletedByMonth(), d.CompletedByMonth(); !reflect.DeepEqual(got, want) {
+		t.Error("CompletedByMonth diverges from Dataset.CompletedByMonth")
+	}
+	if got, want := ix.Completed(), d.Completed(); !reflect.DeepEqual(got, want) {
+		t.Error("Completed diverges from Dataset.Completed")
+	}
+	if got, want := ix.Public(), d.Public(); !reflect.DeepEqual(got, want) {
+		t.Error("Public diverges from Dataset.Public")
+	}
+	if got, want := ix.CompletedPublic(), d.CompletedPublic(); !reflect.DeepEqual(got, want) {
+		t.Error("CompletedPublic diverges from Dataset.CompletedPublic")
+	}
+	for _, e := range dataset.Eras {
+		if got, want := ix.InEra(e), d.InEra(e); !reflect.DeepEqual(got, want) {
+			t.Errorf("InEra(%v) diverges from Dataset.InEra", e)
+		}
+	}
+
+	users := ix.UserContracts()
+	perUser := 0
+	for u, cs := range users {
+		perUser += len(cs)
+		for _, c := range cs {
+			if c.Maker != u && c.Taker != u {
+				t.Fatalf("user %d listed for contract %d they are not party to", u, c.ID)
+			}
+		}
+	}
+	want := 0
+	for _, c := range d.Contracts {
+		want++
+		if c.Taker != c.Maker {
+			want++
+		}
+	}
+	if perUser != want {
+		t.Errorf("UserContracts holds %d entries, want %d", perUser, want)
+	}
+}
+
+// TestIndexCategoriesMatchDirect verifies the memoized obligation table
+// returns exactly what direct categorisation computes, for every
+// completed public contract and for the direct-parse fallback outside
+// the table.
+func TestIndexCategoriesMatchDirect(t *testing.T) {
+	d := corpus(t)
+	ix := NewIndex(d)
+	for _, c := range d.CompletedPublic() {
+		if got, want := ix.MakerCategories(c), textmine.Categorize(c.MakerObligation); !reflect.DeepEqual(got, want) {
+			t.Fatalf("contract %d: maker categories %v, direct %v", c.ID, got, want)
+		}
+		if got, want := ix.TakerCategories(c), textmine.Categorize(c.TakerObligation); !reflect.DeepEqual(got, want) {
+			t.Fatalf("contract %d: taker categories %v, direct %v", c.ID, got, want)
+		}
+		if got, want := ix.MakerMethods(c), textmine.PaymentMethods(c.MakerObligation); !reflect.DeepEqual(got, want) {
+			t.Fatalf("contract %d: maker methods %v, direct %v", c.ID, got, want)
+		}
+		if got, want := ix.TakerMethods(c), textmine.PaymentMethods(c.TakerObligation); !reflect.DeepEqual(got, want) {
+			t.Fatalf("contract %d: taker methods %v, direct %v", c.ID, got, want)
+		}
+	}
+	// Fallback path: a private or incomplete contract is outside the
+	// table but must still classify.
+	for _, c := range d.Contracts {
+		if c.Public && c.IsComplete() {
+			continue
+		}
+		if got, want := ix.MakerCategories(c), textmine.Categorize(c.MakerObligation); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback contract %d: %v != %v", c.ID, got, want)
+		}
+		break
+	}
+}
+
+// TestIndexConcurrentConstruction hammers every lazy group from many
+// goroutines at once — the pattern the scheduler produces when multiple
+// stages touch a cold index simultaneously. Run under -race this pins
+// the once-guard; the result checks pin that racing builders agree.
+func TestIndexConcurrentConstruction(t *testing.T) {
+	d := corpus(t)
+	for round := 0; round < 3; round++ {
+		ix := NewIndex(d)
+		ref := NewIndex(d) // built serially below, compared after the race
+		refCats := ref.MakerCategories(ref.CompletedPublic()[0])
+
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				switch g % 8 {
+				case 0:
+					ix.ByMonth()
+				case 1:
+					ix.CompletedByMonth()
+				case 2:
+					ix.CompletedPublic()
+				case 3:
+					ix.InEra(dataset.EraStable)
+				case 4:
+					ix.UserContracts()
+				case 5:
+					ix.FirstEraOfUse()
+				case 6:
+					ix.MoneyContracts()
+				default:
+					ix.MakerCategories(d.CompletedPublic()[0])
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		if got := ix.MakerCategories(ix.CompletedPublic()[0]); !reflect.DeepEqual(got, refCats) {
+			t.Fatalf("round %d: concurrent build produced %v, serial %v", round, got, refCats)
+		}
+		if !reflect.DeepEqual(ix.MoneyContracts(), ref.MoneyContracts()) {
+			t.Fatalf("round %d: MoneyContracts diverge between concurrent and serial builds", round)
+		}
+	}
+}

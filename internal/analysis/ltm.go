@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
@@ -71,14 +72,34 @@ func LatentClasses(d *dataset.Dataset, opts LTMOptions, src *rng.Source) (*LTMRe
 	for i, o := range obs {
 		data[i] = o.Counts
 	}
+	// EM restarts are independent: pre-fork one stream per restart in
+	// restart order (so the fork sequence is identical to the old
+	// sequential loop), run the fits concurrently, then pick the winner by
+	// scanning restarts in order with a strictly-greater comparison — the
+	// same tie-break the sequential loop applied. Byte-identical results
+	// at any parallelism.
+	streams := make([]*rng.Source, opts.Restarts)
+	for r := range streams {
+		streams[r] = src.Fork(uint64(r) + 1)
+	}
+	fits := make([]*stats.LCAResult, opts.Restarts)
+	errs := make([]error, opts.Restarts)
+	var wg sync.WaitGroup
+	for r := range streams {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fits[r], errs[r] = stats.FitLCA(data, opts.K, streams[r])
+		}(r)
+	}
+	wg.Wait()
 	var fit *stats.LCAResult
 	for r := 0; r < opts.Restarts; r++ {
-		f, err := stats.FitLCA(data, opts.K, src.Fork(uint64(r)+1))
-		if err != nil {
-			return nil, err
+		if errs[r] != nil {
+			return nil, errs[r]
 		}
-		if fit == nil || f.LogLik > fit.LogLik {
-			fit = f
+		if fit == nil || fits[r].LogLik > fit.LogLik {
+			fit = fits[r]
 		}
 	}
 

@@ -130,9 +130,10 @@ func TestZIPSubgroupsTableTen(t *testing.T) {
 
 func TestZIPRecordsConsistency(t *testing.T) {
 	d := corpus(t)
-	all := zipRecords(d, dataset.EraStable, "all")
-	ft := zipRecords(d, dataset.EraStable, "first-time")
-	ex := zipRecords(d, dataset.EraStable, "existing")
+	ix := NewIndex(d)
+	all := zipRecords(ix, dataset.EraStable, "all")
+	ft := zipRecords(ix, dataset.EraStable, "first-time")
+	ex := zipRecords(ix, dataset.EraStable, "existing")
 	if len(ft)+len(ex) != len(all) {
 		t.Fatalf("subsets %d+%d != all %d", len(ft), len(ex), len(all))
 	}

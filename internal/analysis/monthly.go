@@ -15,13 +15,15 @@ type MonthlyGrowth struct {
 }
 
 // Growth computes Figure 1's four series.
-func Growth(d *dataset.Dataset) MonthlyGrowth {
+func Growth(d *dataset.Dataset) MonthlyGrowth { return growthIdx(NewIndex(d)) }
+
+func growthIdx(ix *Index) MonthlyGrowth {
 	var g MonthlyGrowth
 	seenCreated := make(map[forum.UserID]bool)
 	seenCompleted := make(map[forum.UserID]bool)
 	// Process contracts in creation order so "new member" is well defined.
-	byMonth := d.ByMonth()
-	completedByMonth := d.CompletedByMonth()
+	byMonth := ix.ByMonth()
+	completedByMonth := ix.CompletedByMonth()
 	for m := 0; m < dataset.NumMonths; m++ {
 		for _, c := range byMonth[m] {
 			g.Created[m]++
@@ -53,10 +55,12 @@ type VisibilityTrend struct {
 }
 
 // PublicTrend computes Figure 2.
-func PublicTrend(d *dataset.Dataset) VisibilityTrend {
+func PublicTrend(d *dataset.Dataset) VisibilityTrend { return publicTrendIdx(NewIndex(d)) }
+
+func publicTrendIdx(ix *Index) VisibilityTrend {
 	var t VisibilityTrend
-	byMonth := d.ByMonth()
-	completedByMonth := d.CompletedByMonth()
+	byMonth := ix.ByMonth()
+	completedByMonth := ix.CompletedByMonth()
 	for m := 0; m < dataset.NumMonths; m++ {
 		var pub int
 		for _, c := range byMonth[m] {
@@ -88,10 +92,12 @@ type TypeShares struct {
 }
 
 // TypeShareTrend computes Figure 3.
-func TypeShareTrend(d *dataset.Dataset) TypeShares {
+func TypeShareTrend(d *dataset.Dataset) TypeShares { return typeShareTrendIdx(NewIndex(d)) }
+
+func typeShareTrendIdx(ix *Index) TypeShares {
 	var t TypeShares
-	byMonth := d.ByMonth()
-	completedByMonth := d.CompletedByMonth()
+	byMonth := ix.ByMonth()
+	completedByMonth := ix.CompletedByMonth()
 	for m := 0; m < dataset.NumMonths; m++ {
 		fill := func(cs []*forum.Contract, out *[forum.NumContractTypes]float64) {
 			if len(cs) == 0 {

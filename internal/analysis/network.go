@@ -50,12 +50,16 @@ type DegreeGrowth struct {
 // DegreeGrowthTrend computes Figure 8 by growing the network month by
 // month. completedOnly selects the completed-contract variant.
 func DegreeGrowthTrend(d *dataset.Dataset, completedOnly bool) DegreeGrowth {
+	return degreeGrowthTrendIdx(NewIndex(d), completedOnly)
+}
+
+func degreeGrowthTrendIdx(ix *Index, completedOnly bool) DegreeGrowth {
 	var r DegreeGrowth
 	var buckets [dataset.NumMonths][]*forum.Contract
 	if completedOnly {
-		buckets = d.CompletedByMonth()
+		buckets = ix.CompletedByMonth()
 	} else {
-		buckets = d.ByMonth()
+		buckets = ix.ByMonth()
 	}
 	n := graph.New()
 	for m := 0; m < dataset.NumMonths; m++ {

@@ -30,15 +30,23 @@ type SideParticipation struct {
 
 // Participation computes the maker/taker repeat-transaction distributions
 // over all contracts (the taker side counts entered deals only).
-func Participation(d *dataset.Dataset) ParticipationStats {
+func Participation(d *dataset.Dataset) ParticipationStats { return participationIdx(NewIndex(d)) }
+
+func participationIdx(ix *Index) ParticipationStats {
 	makers := map[forum.UserID]int{}
 	takers := map[forum.UserID]int{}
-	for _, c := range d.Contracts {
-		makers[c.Maker]++
-		switch c.Status {
-		case forum.StatusPending, forum.StatusDenied, forum.StatusExpired:
-		default:
-			takers[c.Taker]++
+	for u, cs := range ix.UserContracts() {
+		for _, c := range cs {
+			if c.Maker == u {
+				makers[u]++
+			}
+			if c.Taker == u {
+				switch c.Status {
+				case forum.StatusPending, forum.StatusDenied, forum.StatusExpired:
+				default:
+					takers[u]++
+				}
+			}
 		}
 	}
 	return ParticipationStats{

@@ -25,8 +25,10 @@ type PaymentsResult struct {
 }
 
 // PaymentMethods computes Table 4.
-func PaymentMethods(d *dataset.Dataset) PaymentsResult {
-	cs := moneyContracts(d)
+func PaymentMethods(d *dataset.Dataset) PaymentsResult { return paymentMethodsIdx(NewIndex(d)) }
+
+func paymentMethodsIdx(ix *Index) PaymentsResult {
+	cs := ix.MoneyContracts()
 	type acc struct {
 		makerContracts, takerContracts, bothContracts int
 		makerUsers, takerUsers, bothUsers             map[forum.UserID]bool
@@ -46,8 +48,8 @@ func PaymentMethods(d *dataset.Dataset) PaymentsResult {
 	}
 	totalAcc := get("__total__")
 	for _, c := range cs {
-		msM := textmine.PaymentMethods(c.MakerObligation)
-		msT := textmine.PaymentMethods(c.TakerObligation)
+		msM := ix.MakerMethods(c)
+		msT := ix.TakerMethods(c)
 		seenBoth := map[textmine.Method]bool{}
 		for _, m := range msM {
 			a := get(m)
@@ -110,30 +112,6 @@ func PaymentMethods(d *dataset.Dataset) PaymentsResult {
 	return r
 }
 
-// moneyContracts selects completed public contracts classified into
-// currency exchange, payments, or giftcard on either side.
-func moneyContracts(d *dataset.Dataset) []*forum.Contract {
-	var out []*forum.Contract
-	for _, c := range d.CompletedPublic() {
-		if isMoneyContract(c) {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-func isMoneyContract(c *forum.Contract) bool {
-	for _, text := range []string{c.MakerObligation, c.TakerObligation} {
-		for _, cat := range textmine.Categorize(text) {
-			switch cat {
-			case textmine.CurrencyExchange, textmine.Payments, textmine.Giftcard:
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // Row returns the row for a method, if present.
 func (r PaymentsResult) Row(m textmine.Method) (PaymentRow, bool) {
 	for _, row := range r.Rows {
@@ -162,8 +140,10 @@ type PaymentTrend struct {
 }
 
 // PaymentTrends computes Figure 10.
-func PaymentTrends(d *dataset.Dataset) PaymentTrend {
-	overall := PaymentMethods(d)
+func PaymentTrends(d *dataset.Dataset) PaymentTrend { return paymentTrendsIdx(NewIndex(d)) }
+
+func paymentTrendsIdx(ix *Index) PaymentTrend {
+	overall := paymentMethodsIdx(ix)
 	var top []textmine.Method
 	for _, row := range overall.Rows {
 		top = append(top, row.Method)
@@ -172,17 +152,17 @@ func PaymentTrends(d *dataset.Dataset) PaymentTrend {
 		}
 	}
 	counts := make(map[textmine.Method][dataset.NumMonths]int)
-	for _, c := range moneyContracts(d) {
+	for _, c := range ix.MoneyContracts() {
 		at := c.Completed
 		if at.IsZero() {
 			at = c.Created
 		}
 		m := dataset.MonthOf(at)
 		mentioned := map[textmine.Method]bool{}
-		for _, mm := range textmine.PaymentMethods(c.MakerObligation) {
+		for _, mm := range ix.MakerMethods(c) {
 			mentioned[mm] = true
 		}
-		for _, mm := range textmine.PaymentMethods(c.TakerObligation) {
+		for _, mm := range ix.TakerMethods(c) {
 			mentioned[mm] = true
 		}
 		for _, mm := range top {

@@ -64,7 +64,11 @@ func RunSuiteCtx(ctx context.Context, d *dataset.Dataset, opts SuiteOptions, src
 	suiteSpan.SetInt("workers", workers)
 	suiteSpan.SetInt("stages", len(sel))
 
-	sched := &scheduler{d: d, res: res, opts: &opts, streams: streams, parent: suiteSpan}
+	// One Index per run: every stage reads the corpus through it, so
+	// shared groupings (month buckets, subsets, the obligation
+	// classification table) are built once, by whichever stage first needs
+	// them, and reused by the rest.
+	sched := &scheduler{ix: NewIndex(d), res: res, opts: &opts, streams: streams, parent: suiteSpan}
 
 	// Per-selection dependency bookkeeping. selectStages guarantees every
 	// dep of a selected stage is selected too, so indegrees are complete.
@@ -159,7 +163,7 @@ func RunSuiteCtx(ctx context.Context, d *dataset.Dataset, opts SuiteOptions, src
 
 // scheduler carries the per-run state shared by the worker pool.
 type scheduler struct {
-	d       *dataset.Dataset
+	ix      *Index
 	res     *Suite
 	opts    *SuiteOptions
 	streams map[int]*rng.Source
@@ -187,7 +191,7 @@ func (s *scheduler) runStage(worker, idx int) error {
 	if s.opts.Metrics != nil {
 		start = time.Now()
 	}
-	err := st.fn(s.d, s.res, s.opts, s.streams[idx])
+	err := st.fn(s.ix, s.res, s.opts, s.streams[idx])
 	sp.End()
 	inflight.Add(-1)
 	if s.opts.Metrics != nil {

@@ -88,7 +88,10 @@ const (
 
 // Values computes the full §4.5 value analysis (Table 5 and the
 // surrounding totals) from completed public contracts.
-func Values(d *dataset.Dataset) ValueReport {
+func Values(d *dataset.Dataset) ValueReport { return valuesIdx(NewIndex(d)) }
+
+func valuesIdx(ix *Index) ValueReport {
+	d := ix.D
 	fxTab := fx.Default()
 	r := ValueReport{
 		PerContract: make(map[forum.ContractID]float64),
@@ -99,7 +102,7 @@ func Values(d *dataset.Dataset) ValueReport {
 	methAcc := map[textmine.Method]*MethodValueRow{}
 	userValue := map[forum.UserID]float64{}
 
-	for _, c := range d.CompletedPublic() {
+	for _, c := range ix.CompletedPublic() {
 		if c.Type == forum.VouchCopy {
 			continue // reputation proofs, not economic trades
 		}
@@ -169,7 +172,7 @@ func Values(d *dataset.Dataset) ValueReport {
 		userValue[c.Taker] += value
 
 		// Table 5 left: per-activity maker/taker value sums.
-		for cat := range unionCategories(c) {
+		for cat := range unionCategories(ix, c) {
 			row, ok := actAcc[cat]
 			if !ok {
 				row = &ValueRow{Category: cat}
@@ -179,7 +182,7 @@ func Values(d *dataset.Dataset) ValueReport {
 			row.TakersUSD += tv
 		}
 		// Table 5 right: per-method value sums.
-		for m := range unionMethods(c) {
+		for m := range unionMethods(ix, c) {
 			row, ok := methAcc[m]
 			if !ok {
 				row = &MethodValueRow{Method: m}
@@ -208,7 +211,7 @@ func Values(d *dataset.Dataset) ValueReport {
 	}
 	sortMethodRows(r.MethodValues)
 
-	r.ExtrapolatedUSD = extrapolate(d, r.ByType)
+	r.ExtrapolatedUSD = extrapolate(ix, r.ByType)
 	r.TopDecileShare, r.MeanPerUserUSD = userValueStats(userValue)
 	return r
 }
@@ -229,14 +232,14 @@ func firstValueUSD(text string, tab *fx.Table, at time.Time) float64 {
 	return 0
 }
 
-func unionCategories(c *forum.Contract) map[textmine.Category]bool {
+func unionCategories(ix *Index, c *forum.Contract) map[textmine.Category]bool {
 	out := map[textmine.Category]bool{}
-	for _, cat := range textmine.Categorize(c.MakerObligation) {
+	for _, cat := range ix.MakerCategories(c) {
 		if cat != textmine.Uncategorised {
 			out[cat] = true
 		}
 	}
-	for _, cat := range textmine.Categorize(c.TakerObligation) {
+	for _, cat := range ix.TakerCategories(c) {
 		if cat != textmine.Uncategorised {
 			out[cat] = true
 		}
@@ -244,12 +247,12 @@ func unionCategories(c *forum.Contract) map[textmine.Category]bool {
 	return out
 }
 
-func unionMethods(c *forum.Contract) map[textmine.Method]bool {
+func unionMethods(ix *Index, c *forum.Contract) map[textmine.Method]bool {
 	out := map[textmine.Method]bool{}
-	for _, m := range textmine.PaymentMethods(c.MakerObligation) {
+	for _, m := range ix.MakerMethods(c) {
 		out[m] = true
 	}
-	for _, m := range textmine.PaymentMethods(c.TakerObligation) {
+	for _, m := range ix.TakerMethods(c) {
 		out[m] = true
 	}
 	return out
@@ -264,10 +267,10 @@ func verifyAgainstLedger(l *chain.Ledger, c *forum.Contract, declared float64) c
 
 // extrapolate scales each type's public value by its private multiple,
 // assuming private contracts are at least as valuable on average.
-func extrapolate(d *dataset.Dataset, byType map[forum.ContractType]TypeValueSummary) float64 {
+func extrapolate(ix *Index, byType map[forum.ContractType]TypeValueSummary) float64 {
 	completedAll := map[forum.ContractType]int{}
 	completedPublic := map[forum.ContractType]int{}
-	for _, c := range d.Completed() {
+	for _, c := range ix.Completed() {
 		completedAll[c.Type]++
 		if c.Public {
 			completedPublic[c.Type]++
@@ -328,6 +331,10 @@ type ValueTrend struct {
 
 // ValueTrends computes Figure 11 from a previously computed ValueReport.
 func ValueTrends(d *dataset.Dataset, report ValueReport) ValueTrend {
+	return valueTrendsIdx(NewIndex(d), report)
+}
+
+func valueTrendsIdx(ix *Index, report ValueReport) ValueTrend {
 	t := ValueTrend{
 		ByType:     make(map[forum.ContractType][dataset.NumMonths]float64),
 		ByMethod:   make(map[textmine.Method][dataset.NumMonths]float64),
@@ -358,7 +365,7 @@ func ValueTrends(d *dataset.Dataset, report ValueReport) ValueTrend {
 		topC[cat] = true
 	}
 
-	for _, c := range d.CompletedPublic() {
+	for _, c := range ix.CompletedPublic() {
 		value, ok := report.PerContract[c.ID]
 		if !ok {
 			continue
@@ -371,14 +378,14 @@ func ValueTrends(d *dataset.Dataset, report ValueReport) ValueTrend {
 		arr := t.ByType[c.Type]
 		arr[m] += value
 		t.ByType[c.Type] = arr
-		for meth := range unionMethods(c) {
+		for meth := range unionMethods(ix, c) {
 			if topM[meth] {
 				a := t.ByMethod[meth]
 				a[m] += value
 				t.ByMethod[meth] = a
 			}
 		}
-		for cat := range unionCategories(c) {
+		for cat := range unionCategories(ix, c) {
 			if topC[cat] {
 				a := t.ByCategory[cat]
 				a[m] += value

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
+	"sync"
 
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
@@ -38,30 +38,69 @@ type ZIPEraResult struct {
 // no first-time covariate (everyone is a first-time user of the brand-new
 // system).
 func ZIPAllUsers(d *dataset.Dataset) ([]ZIPEraResult, error) {
-	var out []ZIPEraResult
-	for _, e := range dataset.Eras {
-		recs := zipRecords(d, e, "all")
-		model, err := fitZIP(recs, e != dataset.EraSetup)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: ZIP %v: %w", e, err)
-		}
-		out = append(out, ZIPEraResult{Era: e, Subset: "all", Model: model, Records: len(recs)})
+	return zipAllUsersIdx(NewIndex(d))
+}
+
+func zipAllUsersIdx(ix *Index) ([]ZIPEraResult, error) {
+	specs := make([]zipFitSpec, len(dataset.Eras))
+	for i, e := range dataset.Eras {
+		specs[i] = zipFitSpec{era: e, subset: "all", withFirstTime: e != dataset.EraSetup}
 	}
-	return out, nil
+	return fitZIPSpecs(ix, specs)
 }
 
 // ZIPSubgroups fits Table 10: first-time and existing users separately for
 // STABLE and COVID-19.
 func ZIPSubgroups(d *dataset.Dataset) ([]ZIPEraResult, error) {
-	var out []ZIPEraResult
+	return zipSubgroupsIdx(NewIndex(d))
+}
+
+func zipSubgroupsIdx(ix *Index) ([]ZIPEraResult, error) {
+	var specs []zipFitSpec
 	for _, e := range []dataset.Era{dataset.EraStable, dataset.EraCovid} {
 		for _, subset := range []string{"first-time", "existing"} {
-			recs := zipRecords(d, e, subset)
-			model, err := fitZIP(recs, false)
+			specs = append(specs, zipFitSpec{era: e, subset: subset})
+		}
+	}
+	return fitZIPSpecs(ix, specs)
+}
+
+// zipFitSpec is one (era, subset) model of Tables 9/10.
+type zipFitSpec struct {
+	era           dataset.Era
+	subset        string
+	withFirstTime bool
+}
+
+// fitZIPSpecs runs the per-era fits concurrently. Each fit is
+// deterministic (no RNG), so parallel execution only needs the results
+// collected in spec order — including the first-error-in-order rule the
+// sequential loops applied.
+func fitZIPSpecs(ix *Index, specs []zipFitSpec) ([]ZIPEraResult, error) {
+	out := make([]ZIPEraResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s zipFitSpec) {
+			defer wg.Done()
+			recs := zipRecords(ix, s.era, s.subset)
+			model, err := fitZIP(recs, s.withFirstTime)
 			if err != nil {
-				return nil, fmt.Errorf("analysis: ZIP %v/%s: %w", e, subset, err)
+				if s.subset == "all" {
+					errs[i] = fmt.Errorf("analysis: ZIP %v: %w", s.era, err)
+				} else {
+					errs[i] = fmt.Errorf("analysis: ZIP %v/%s: %w", s.era, s.subset, err)
+				}
+				return
 			}
-			out = append(out, ZIPEraResult{Era: e, Subset: subset, Model: model, Records: len(recs)})
+			out[i] = ZIPEraResult{Era: s.era, Subset: s.subset, Model: model, Records: len(recs)}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -69,15 +108,15 @@ func ZIPSubgroups(d *dataset.Dataset) ([]ZIPEraResult, error) {
 
 // zipRecords builds per-user records for an era. Users of the contract
 // system in the era are all makers and takers of contracts created then.
-func zipRecords(d *dataset.Dataset, e dataset.Era, subset string) []ZIPUserRecord {
-	firstEra := firstEraOfUse(d)
-	start, end := e.Span()
+func zipRecords(ix *Index, e dataset.Era, subset string) []ZIPUserRecord {
+	firstEra := ix.FirstEraOfUse()
+	_, end := e.Span()
 	recs := map[forum.UserID]*ZIPUserRecord{}
 	get := func(u forum.UserID) *ZIPUserRecord {
 		r, ok := recs[u]
 		if !ok {
 			r = &ZIPUserRecord{User: u, FirstTime: firstEra[u] == e}
-			if user, okU := d.Users[u]; okU {
+			if user, okU := ix.D.Users[u]; okU {
 				r.MPosts = float64(user.MarketplacePosts)
 				first := user.FirstPost
 				if first.IsZero() || user.Joined.Before(first) {
@@ -93,10 +132,10 @@ func zipRecords(d *dataset.Dataset, e dataset.Era, subset string) []ZIPUserRecor
 		}
 		return r
 	}
-	for _, c := range d.Contracts {
-		if c.Created.Before(start) || !c.Created.Before(end) {
-			continue
-		}
+	// ix.InEra(e) is exactly the Created ∈ [start, end) filter: Validate
+	// guarantees every Created falls inside the study window, so EraOf
+	// bucketing and the span check agree.
+	for _, c := range ix.InEra(e) {
 		mr := get(c.Maker)
 		tr := get(c.Taker)
 		mr.Initiated++
@@ -141,24 +180,6 @@ func zipRecords(d *dataset.Dataset, e dataset.Era, subset string) []ZIPUserRecor
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
-	return out
-}
-
-// firstEraOfUse maps each user to the era of their first contract-system
-// activity.
-func firstEraOfUse(d *dataset.Dataset) map[forum.UserID]dataset.Era {
-	first := map[forum.UserID]time.Time{}
-	for _, c := range d.Contracts {
-		for _, u := range []forum.UserID{c.Maker, c.Taker} {
-			if t, ok := first[u]; !ok || c.Created.Before(t) {
-				first[u] = c.Created
-			}
-		}
-	}
-	out := map[forum.UserID]dataset.Era{}
-	for u, t := range first {
-		out[u] = dataset.EraOf(t)
-	}
 	return out
 }
 

@@ -1,0 +1,111 @@
+// Tests for per-section partial runs: GET /v1/report/{section} must hand
+// the pipeline only the stages that section reads, not all of them.
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"turnup"
+	"turnup/internal/serve"
+)
+
+// TestSectionRequestRunsMinimalStages pins the section→stage derivation:
+// a cold section request reaches the runner with exactly that section's
+// stage closure, an explicit ?stages= wins over derivation, and a
+// model-only section under models=false falls back to the full
+// descriptive run (its text is empty either way).
+func TestSectionRequestRunsMinimalStages(t *testing.T) {
+	res := tinyResults(t)
+	var (
+		mu   sync.Mutex
+		runs [][]string
+	)
+	srv := serve.New(serve.Options{
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			mu.Lock()
+			runs = append(runs, append([]string(nil), p.Stages...))
+			mu.Unlock()
+			return res, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		url    string
+		stages []string
+	}{
+		// One section → its stage; the scheduler adds transitive deps.
+		{"/v1/report/growth", []string{"Growth"}},
+		// A multi-stage section and a comma list both union.
+		{"/v1/report/degrees", []string{"DegreesCreated", "DegreesDone"}},
+		{"/v1/report/payments,cohorts", []string{"Cohorts", "Payments"}},
+		// Explicit ?stages= overrides derivation.
+		{"/v1/report/growth?stages=Concentration,Growth&seed=2", []string{"Concentration", "Growth"}},
+		// Model-only section with models off: nothing derivable runs, so
+		// the unconstrained descriptive run stands in.
+		{"/v1/report/zip-all?models=false", nil},
+		// No section → full run, no stage subset.
+		{"/v1/report?seed=3", nil},
+	}
+	for i, c := range cases {
+		if code, _, body := get(t, ts.URL+c.url); code != 200 {
+			t.Fatalf("%s: status %d: %s", c.url, code, body)
+		}
+		mu.Lock()
+		got := runs[i]
+		mu.Unlock()
+		if !reflect.DeepEqual(got, c.stages) {
+			t.Errorf("%s: runner saw stages %v, want %v", c.url, got, c.stages)
+		}
+	}
+	if len(runs) != len(cases) {
+		t.Fatalf("%d pipeline runs for %d distinct cold requests", len(runs), len(cases))
+	}
+
+	// The derived stage list is part of the cache key, so repeating the
+	// section request is a hit, and the full-report request it would have
+	// shadowed before derivation stays a separate (miss) entry.
+	if _, cache, _ := get(t, ts.URL+"/v1/report/growth"); cache != "hit" {
+		t.Errorf("repeated section request: X-Cache %q, want hit", cache)
+	}
+	if _, cache, _ := get(t, ts.URL+"/v1/report"); cache != "miss" {
+		t.Errorf("full-report request after section request: X-Cache %q, want miss", cache)
+	}
+}
+
+// TestSectionStagesVocabulary pins the exported resolver: every section
+// maps to valid stages, unions deduplicate, and unknown names error.
+func TestSectionStagesVocabulary(t *testing.T) {
+	for _, name := range turnup.Sections() {
+		stages, err := turnup.SectionStages(name)
+		if err != nil {
+			t.Fatalf("SectionStages(%q): %v", name, err)
+		}
+		if len(stages) == 0 {
+			t.Errorf("SectionStages(%q) is empty", name)
+		}
+		if err := turnup.ValidateStages(stages...); err != nil {
+			t.Errorf("SectionStages(%q) → %v: %v", name, stages, err)
+		}
+	}
+	// The three latent-class views share one stage — the union must not
+	// repeat it.
+	stages, err := turnup.SectionStages("latent-classes", "class-activity-made", "class-activity-accepted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stages, []string{"LatentClasses"}) {
+		t.Errorf("latent-class views union = %v, want [LatentClasses]", stages)
+	}
+	if _, err := turnup.SectionStages("growth", "nope"); err == nil {
+		t.Error("SectionStages accepted an unknown section name")
+	}
+	if stages, err := turnup.SectionStages(); err != nil || stages != nil {
+		t.Errorf("SectionStages() = %v, %v; want nil, nil", stages, err)
+	}
+}

@@ -217,6 +217,31 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	if len(p.Stages) == 0 && len(sections) > 0 {
+		// A section request without an explicit ?stages= runs only the
+		// stages that section reads (the scheduler adds their transitive
+		// deps) instead of all of them on a cold cache. Model stages are
+		// dropped under models=false — those sections render empty either
+		// way — and if nothing is left the full descriptive run stands in,
+		// matching what an unconstrained request computes.
+		stages, err := turnup.SectionStages(sections...)
+		if err != nil { // unreachable: names validated above
+			s.fail(w, r, http.StatusBadRequest, err)
+			return
+		}
+		if !p.Models {
+			kept := stages[:0]
+			for _, st := range stages {
+				if !s.modelStage[st] {
+					kept = append(kept, st)
+				}
+			}
+			stages = kept
+		}
+		if len(stages) > 0 {
+			p.Stages = stages
+		}
+	}
 	var ledger string
 	if id := r.URL.Query().Get("dataset"); id != "" {
 		if r.URL.Query().Get("scale") != "" {

@@ -181,7 +181,18 @@ var methodRules = []struct {
 // category"). Text matching nothing, or with fewer than two content
 // tokens, returns just Uncategorised.
 func Categorize(text string) []Category {
+	cats, _ := Classify(text)
+	return cats
+}
+
+// Classify computes both the trading-activity categories and the payment
+// methods of the text over a single normalisation pass. It is exactly
+// Categorize plus PaymentMethods, but normalises once instead of three
+// times (Categorize's implicit-exchange rule needs the methods anyway) —
+// the form the analysis index memoizes per contract side.
+func Classify(text string) ([]Category, []Method) {
 	norm := Normalize(text)
+	methods := methodsFromNorm(norm)
 	var out []Category
 	for _, rule := range catRules {
 		if rule.re.MatchString(norm) {
@@ -190,14 +201,14 @@ func Categorize(text string) []Category {
 	}
 	// Two distinct payment methods traded "for" each other is a currency
 	// exchange even without an explicit exchange verb.
-	if !hasCategory(out, CurrencyExchange) && len(PaymentMethods(text)) >= 2 &&
+	if !hasCategory(out, CurrencyExchange) && len(methods) >= 2 &&
 		strings.Contains(norm, " for ") {
 		out = append(out, CurrencyExchange)
 	}
 	if len(out) == 0 {
-		return []Category{Uncategorised}
+		return []Category{Uncategorised}, methods
 	}
-	return out
+	return out, methods
 }
 
 func hasCategory(cs []Category, c Category) bool {
@@ -212,7 +223,10 @@ func hasCategory(cs []Category, c Category) bool {
 // PaymentMethods returns the payment-method buckets mentioned in the text.
 // "bitcoin cash" is not double-counted as Bitcoin.
 func PaymentMethods(text string) []Method {
-	norm := Normalize(text)
+	return methodsFromNorm(Normalize(text))
+}
+
+func methodsFromNorm(norm string) []Method {
 	var out []Method
 	for _, rule := range methodRules {
 		if rule.re.MatchString(norm) {

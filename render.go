@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"turnup/internal/analysis"
 	"turnup/internal/report"
 )
 
@@ -12,8 +13,13 @@ import (
 // section's text (with its trailing separator) or "" when the underlying
 // result was not computed — model sections on a SkipModels run, for
 // example — so absent sections vanish instead of printing empty shells.
+// stages names the analysis stages whose Suite slots the section reads:
+// SectionStages resolves a section request to this list (the scheduler
+// then adds transitive stage deps), which is how GET /v1/report/{section}
+// runs one or two stages instead of all 29 on a cold cache.
 type section struct {
 	name   string
+	stages []string
 	render func(*Results) string
 }
 
@@ -21,68 +27,68 @@ type section struct {
 // names are the -sections vocabulary of hfanalyze; RenderAll is exactly
 // this table rendered top to bottom.
 var sectionTable = []section{
-	{"taxonomy", func(r *Results) string { return report.Taxonomy(r.Taxonomy) + "\n" }},
-	{"visibility", func(r *Results) string { return report.Visibility(r.Visibility) + "\n" }},
-	{"growth", func(r *Results) string { return report.Growth(r.Growth) + "\n" }},
-	{"public-trend", func(r *Results) string { return report.PublicTrend(r.PublicTrend) + "\n" }},
-	{"type-shares", func(r *Results) string { return report.TypeShares(r.TypeShares) + "\n" }},
-	{"completion-times", func(r *Results) string { return report.CompletionTimes(r.CompletionTimes) + "\n" }},
-	{"concentration", func(r *Results) string { return report.Concentration(r.Concentration) + "\n" }},
-	{"key-shares", func(r *Results) string { return report.KeyShares(r.KeyShares) + "\n" }},
-	{"degrees", func(r *Results) string {
+	{"taxonomy", []string{"Taxonomy"}, func(r *Results) string { return report.Taxonomy(r.Taxonomy) + "\n" }},
+	{"visibility", []string{"Visibility"}, func(r *Results) string { return report.Visibility(r.Visibility) + "\n" }},
+	{"growth", []string{"Growth"}, func(r *Results) string { return report.Growth(r.Growth) + "\n" }},
+	{"public-trend", []string{"PublicTrend"}, func(r *Results) string { return report.PublicTrend(r.PublicTrend) + "\n" }},
+	{"type-shares", []string{"TypeShares"}, func(r *Results) string { return report.TypeShares(r.TypeShares) + "\n" }},
+	{"completion-times", []string{"CompletionTimes"}, func(r *Results) string { return report.CompletionTimes(r.CompletionTimes) + "\n" }},
+	{"concentration", []string{"Concentration"}, func(r *Results) string { return report.Concentration(r.Concentration) + "\n" }},
+	{"key-shares", []string{"KeyShares"}, func(r *Results) string { return report.KeyShares(r.KeyShares) + "\n" }},
+	{"degrees", []string{"DegreesCreated", "DegreesDone"}, func(r *Results) string {
 		return report.DegreeDist("created", r.DegreesCreated) +
 			report.DegreeDist("completed", r.DegreesDone) + "\n"
 	}},
-	{"degree-growth", func(r *Results) string { return report.DegreeGrowth(r.DegreeGrowth) + "\n" }},
-	{"products", func(r *Results) string { return report.ProductTrend(r.Products) + "\n" }},
-	{"payment-trend", func(r *Results) string { return report.PaymentTrend(r.PaymentTrend) + "\n" }},
-	{"value-trend", func(r *Results) string { return report.ValueTrend(r.ValueTrend) + "\n" }},
-	{"activities", func(r *Results) string { return report.Activities(r.Activities, 15) + "\n" }},
-	{"payments", func(r *Results) string { return report.Payments(r.Payments, 10) + "\n" }},
-	{"values", func(r *Results) string { return report.Values(r.Values, 10) + "\n" }},
-	{"participation", func(r *Results) string { return report.Participation(r.Participation) + "\n" }},
-	{"disputes", func(r *Results) string { return report.Disputes(r.Disputes) + "\n" }},
-	{"centralisation", func(r *Results) string { return report.Centralisation(r.Centralisation) + "\n" }},
-	{"cohorts", func(r *Results) string { return report.Cohorts(r.Cohorts) + "\n" }},
-	{"corpus", func(r *Results) string { return report.Corpus(r.Corpus) + "\n" }},
-	{"stimulus", func(r *Results) string { return report.Stimulus(r.Stimulus) + "\n" }},
-	{"latent-classes", func(r *Results) string {
+	{"degree-growth", []string{"DegreeGrowth"}, func(r *Results) string { return report.DegreeGrowth(r.DegreeGrowth) + "\n" }},
+	{"products", []string{"Products"}, func(r *Results) string { return report.ProductTrend(r.Products) + "\n" }},
+	{"payment-trend", []string{"PaymentTrend"}, func(r *Results) string { return report.PaymentTrend(r.PaymentTrend) + "\n" }},
+	{"value-trend", []string{"ValueTrend"}, func(r *Results) string { return report.ValueTrend(r.ValueTrend) + "\n" }},
+	{"activities", []string{"Activities"}, func(r *Results) string { return report.Activities(r.Activities, 15) + "\n" }},
+	{"payments", []string{"Payments"}, func(r *Results) string { return report.Payments(r.Payments, 10) + "\n" }},
+	{"values", []string{"Values"}, func(r *Results) string { return report.Values(r.Values, 10) + "\n" }},
+	{"participation", []string{"Participation"}, func(r *Results) string { return report.Participation(r.Participation) + "\n" }},
+	{"disputes", []string{"Disputes"}, func(r *Results) string { return report.Disputes(r.Disputes) + "\n" }},
+	{"centralisation", []string{"Centralisation"}, func(r *Results) string { return report.Centralisation(r.Centralisation) + "\n" }},
+	{"cohorts", []string{"Cohorts"}, func(r *Results) string { return report.Cohorts(r.Cohorts) + "\n" }},
+	{"corpus", []string{"Corpus"}, func(r *Results) string { return report.Corpus(r.Corpus) + "\n" }},
+	{"stimulus", []string{"Stimulus"}, func(r *Results) string { return report.Stimulus(r.Stimulus) + "\n" }},
+	{"latent-classes", []string{"LatentClasses"}, func(r *Results) string {
 		if r.LTM == nil {
 			return ""
 		}
 		return report.LatentClasses(r.LTM) + "\n"
 	}},
-	{"class-activity-made", func(r *Results) string {
+	{"class-activity-made", []string{"LatentClasses"}, func(r *Results) string {
 		if r.LTM == nil {
 			return ""
 		}
 		return report.ClassActivity(r.LTM, true) + "\n"
 	}},
-	{"class-activity-accepted", func(r *Results) string {
+	{"class-activity-accepted", []string{"LatentClasses"}, func(r *Results) string {
 		if r.LTM == nil {
 			return ""
 		}
 		return report.ClassActivity(r.LTM, false) + "\n"
 	}},
-	{"flows", func(r *Results) string {
+	{"flows", []string{"Flows"}, func(r *Results) string {
 		if r.LTM == nil {
 			return ""
 		}
 		return report.Flows(r.Flows, r.LTM) + "\n"
 	}},
-	{"cold-start", func(r *Results) string {
+	{"cold-start", []string{"ColdStart"}, func(r *Results) string {
 		if r.ColdStart == nil {
 			return ""
 		}
 		return report.ColdStart(r.ColdStart) + "\n"
 	}},
-	{"zip-all", func(r *Results) string {
+	{"zip-all", []string{"ZIPAll"}, func(r *Results) string {
 		if r.ZIPAll == nil {
 			return ""
 		}
 		return report.ZIPModels("Table 9: Zero-Inflated Poisson (all users)", r.ZIPAll) + "\n"
 	}},
-	{"zip-sub", func(r *Results) string {
+	{"zip-sub", []string{"ZIPSub"}, func(r *Results) string {
 		if r.ZIPSub == nil {
 			return ""
 		}
@@ -90,14 +96,53 @@ var sectionTable = []section{
 	}},
 }
 
-// sectionIndex maps section name → sectionTable position.
+// sectionIndex maps section name → sectionTable position. The stage
+// validation alongside it means a typo in a section's stage list is a
+// startup panic, not a runtime "unknown stage" error on the first
+// request for that section.
 var sectionIndex = func() map[string]int {
 	idx := make(map[string]int, len(sectionTable))
 	for i, s := range sectionTable {
 		idx[s.name] = i
+		if len(s.stages) == 0 {
+			panic(fmt.Sprintf("turnup: section %q declares no stages", s.name))
+		}
+		if err := analysis.ValidateStages(s.stages); err != nil {
+			panic(fmt.Sprintf("turnup: section %q: %v", s.name, err))
+		}
 	}
 	return idx
 }()
+
+// SectionStages resolves report section names to the analysis stages
+// that compute their inputs, deduplicated in canonical stage order.
+// The list is direct dependencies only — RunOptions.Stages adds each
+// stage's transitive DAG dependencies — so it is exactly the subset to
+// request for a partial run that renders just those sections. An empty
+// name list returns nil (meaning "run everything"); an unknown name is
+// an error.
+func SectionStages(names ...string) ([]string, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	want := make(map[string]bool)
+	for _, name := range names {
+		i, ok := sectionIndex[name]
+		if !ok {
+			return nil, unknownSectionError(name)
+		}
+		for _, st := range sectionTable[i].stages {
+			want[st] = true
+		}
+	}
+	stages := make([]string, 0, len(want))
+	for _, name := range analysis.StageNames {
+		if want[name] {
+			stages = append(stages, name)
+		}
+	}
+	return stages, nil
+}
 
 // Sections lists every named report section in canonical render order.
 func Sections() []string {
