@@ -7,10 +7,11 @@
 #   make bench-index     # index/memoisation benchmarks → BENCH_index.json
 #   make bench-smoke     # fail if the suite regresses >2x vs BENCH_index.json
 #   make bench-serve     # cache-hit vs cold-request latency
+#   make bench-load      # hfload run against a booted hfserved → BENCH_serve_load.json
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load serve
 
 # Benchmarks that claim parallel speedups must run at full machine width;
 # an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
@@ -89,6 +90,32 @@ bench-smoke:
 # gap is the result cache's value proposition (see DESIGN.md §3.3).
 bench-serve:
 	go test -run '^$$' -bench 'Serve' -benchtime 3x ./internal/serve/
+
+# Build version baked into hfserved/hfload (-version flag, /healthz,
+# the turnup_build_info metric, and the load report's version field).
+VERSION := $(shell git describe --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X turnup/internal/version.override=$(VERSION)"
+
+# End-to-end load run: boot hfserved on a local port, replay the default
+# request mix at LOAD_RPS for LOAD_DURATION via hfload, and snapshot the
+# per-route latency report into BENCH_serve_load.json (the load-smoke
+# gate's baseline — regenerate on the same machine class when serving
+# latency intentionally changes). Extra hfload flags go in LOAD_FLAGS,
+# e.g. make bench-load LOAD_FLAGS="-mix hot=1 -slo-p99 250ms".
+LOAD_ADDR     ?= 127.0.0.1:8098
+LOAD_DURATION ?= 10s
+LOAD_RPS      ?= 50
+bench-load:
+	go build $(LDFLAGS) -o /tmp/hfserved ./cmd/hfserved
+	go build $(LDFLAGS) -o /tmp/hfload ./cmd/hfload
+	@/tmp/hfserved -addr $(LOAD_ADDR) -max-scale 0.05 -log-format none & \
+	SERVED=$$!; \
+	/tmp/hfload -target http://$(LOAD_ADDR) -wait 30s \
+	  -duration $(LOAD_DURATION) -rps $(LOAD_RPS) -seed 1 \
+	  -out BENCH_serve_load.json $(LOAD_FLAGS); \
+	STATUS=$$?; \
+	kill -TERM $$SERVED 2>/dev/null; wait $$SERVED 2>/dev/null; \
+	exit $$STATUS
 
 # Serve the simulate→analyse pipeline over HTTP (see README "Serving").
 # Override flags via SERVE_FLAGS, e.g.

@@ -1,0 +1,228 @@
+// Command hfload replays a configurable request mix against a running
+// hfserved at a target RPS and reports client-side latency per route:
+// p50/p95/p99, achieved RPS, error rate, and cache-hit rate, written as
+// BENCH_serve_load.json. It is the measurement gate for the serving tier —
+// CI's load-smoke job runs a short fixed-seed mix and fails on p99
+// regressions against the committed snapshot (see DESIGN.md §3.5).
+//
+// The mix (weights, not counts) mirrors real traffic shapes:
+//
+//	hot      repeated identical report params → cache hits
+//	cold     unique seed per request → cold pipeline runs
+//	section  per-section partial runs cycling -sections
+//	upload   POST /v1/datasets replaying a pre-generated CSV pair
+//	dataset  reports over the uploaded dataset (?dataset=)
+//
+// Every request carries a deterministic X-Request-Id; the report counts
+// responses whose echoed id does not match (request_id_mismatches), so
+// the access-log contract is verified from the client side on every run.
+//
+// Usage:
+//
+//	hfload -target http://127.0.0.1:8080 -duration 10s -rps 50
+//	hfload -mix hot=6,cold=1,section=2,upload=1,dataset=2 -seed 1
+//	hfload -out BENCH_serve_load.json -wait 30s
+//	hfload -gate BENCH_serve_load.json -gate-factor 2   # CI regression gate
+//	hfload -slo-p99 500ms                               # absolute SLO gate
+//	hfload -version
+//
+// Exit status 1 means the run (or a gate) failed; the report is still
+// written so the regression can be inspected.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"turnup/internal/load"
+	"turnup/internal/obs"
+	"turnup/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfload: ")
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the hfserved under test")
+	duration := flag.Duration("duration", 10*time.Second, "how long to issue requests")
+	rps := flag.Float64("rps", 50, "target requests per second")
+	workers := flag.Int("workers", 8, "concurrent request executors")
+	mixFlag := flag.String("mix", "hot=6,cold=1,section=2,upload=1,dataset=2", "request mix weights")
+	seed := flag.Uint64("seed", 1, "mix-sequence and report-parameter seed")
+	scale := flag.Float64("scale", 0.02, "?scale= for report requests")
+	uploadScale := flag.Float64("upload-scale", 0.01, "scale of the generated upload corpus")
+	sections := flag.String("sections", "growth,corpus,concentration,payments", "sections cycled by section requests")
+	out := flag.String("out", "BENCH_serve_load.json", "report path (- for stdout)")
+	wait := flag.Duration("wait", 15*time.Second, "poll /healthz this long before starting")
+	gate := flag.String("gate", "", "baseline report: fail when p99 regresses beyond -gate-factor")
+	gateFactor := flag.Float64("gate-factor", 2, "allowed p99 ratio vs the -gate baseline")
+	sloP99 := flag.Duration("slo-p99", 0, "absolute overall-p99 ceiling (0 disables)")
+	logFormat := flag.String("log-format", "text", "progress log format: text, json, or none")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := strings.TrimSuffix(*target, "/")
+	if err := load.WaitReady(ctx, nil, base, *wait); err != nil {
+		log.Fatal(err)
+	}
+	rep, runErr := load.Run(ctx, load.Config{
+		BaseURL:     base,
+		RPS:         *rps,
+		Duration:    *duration,
+		Workers:     *workers,
+		Mix:         mix,
+		Seed:        *seed,
+		Scale:       *scale,
+		UploadScale: *uploadScale,
+		Sections:    splitList(*sections),
+		Logger:      logger,
+	})
+	if rep == nil {
+		log.Fatal(runErr)
+	}
+
+	if *out == "-" {
+		if err := rep.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteReport(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	printSummary(rep)
+
+	failed := false
+	if runErr != nil {
+		log.Printf("run: %v", runErr)
+		failed = true
+	}
+	if rep.RequestIDMismatches > 0 {
+		log.Printf("FAIL: %d responses did not echo their X-Request-Id", rep.RequestIDMismatches)
+		failed = true
+	}
+	if *gate != "" {
+		f, err := os.Open(*gate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := load.ReadReport(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Gate(baseline, *gateFactor); err != nil {
+			log.Printf("gate FAIL vs %s:\n%v", *gate, err)
+			failed = true
+		} else {
+			log.Printf("gate ok vs %s (factor %g)", *gate, *gateFactor)
+		}
+	}
+	if err := rep.CheckSLO(float64(*sloP99) / float64(time.Millisecond)); err != nil {
+		log.Printf("%v", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printSummary renders the human-facing per-route table on stderr.
+func printSummary(rep *load.Report) {
+	fmt.Fprintf(os.Stderr, "target %s  version %s  %.1fs  %.1f/%.1f rps  %d requests  %.2f%% errors  %.0f%% cache hits\n",
+		rep.Target, rep.Version, rep.DurationSeconds, rep.AchievedRPS, rep.TargetRPS,
+		rep.Requests, 100*rep.ErrorRate, 100*rep.CacheHitRate)
+	fmt.Fprintf(os.Stderr, "%-18s %8s %7s %8s %8s %8s %8s\n",
+		"route", "requests", "errors", "p50ms", "p95ms", "p99ms", "hit%")
+	for _, rr := range rep.Routes {
+		hitPct := 0.0
+		if served := rr.CacheHits + rr.CacheMisses + rr.Coalesced; served > 0 {
+			hitPct = 100 * float64(rr.CacheHits) / float64(served)
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %8d %7d %8.2f %8.2f %8.2f %7.0f%%\n",
+			rr.Route, rr.Requests, rr.Errors,
+			rr.LatencyMS.P50, rr.LatencyMS.P95, rr.LatencyMS.P99, hitPct)
+	}
+	fmt.Fprintf(os.Stderr, "%-18s %8d %7d %8.2f %8.2f %8.2f\n",
+		"overall", rep.Requests, rep.Errors,
+		rep.OverallMS.P50, rep.OverallMS.P95, rep.OverallMS.P99)
+	if rep.MissedTicks > 0 {
+		fmt.Fprintf(os.Stderr, "missed ticks: %d (target RPS exceeded sustainable rate)\n", rep.MissedTicks)
+	}
+}
+
+// parseMix parses "hot=6,cold=1,section=2,upload=1,dataset=2"; omitted
+// kinds weigh zero.
+func parseMix(s string) (load.Mix, error) {
+	var m load.Mix
+	for _, part := range splitList(s) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q: want a non-negative integer", v)
+		}
+		switch k {
+		case "hot":
+			m.Hot = w
+		case "cold":
+			m.Cold = w
+		case "section":
+			m.Section = w
+		case "upload":
+			m.Upload = w
+		case "dataset":
+			m.Dataset = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q (want hot, cold, section, upload, dataset)", k)
+		}
+	}
+	if m.Hot+m.Cold+m.Section+m.Upload+m.Dataset == 0 {
+		return m, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return m, nil
+}
+
+// splitList parses a comma-separated value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

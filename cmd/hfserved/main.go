@@ -14,8 +14,8 @@
 //	DELETE /v1/datasets/{id}        drop a stored dataset
 //	GET    /v1/sections             report-section vocabulary
 //	GET    /v1/stages               analysis stage DAG (name, deps, model)
-//	GET    /healthz                 liveness + uptime + cache/dataset counts
-//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness + version + cache/dataset counts (?format=json)
+//	GET    /metrics                 Prometheus text exposition (?format=json, gzip-aware)
 //	GET    /debug/pprof/...         with -pprof
 //
 // Reports over an uploaded corpus (?dataset=<id>) skip generation and
@@ -23,13 +23,22 @@
 // responses set X-Dataset-Ledger: absent and the §4.5 audit reports its
 // high-value contracts as unverifiable.
 //
+// Every request is assigned a request id (an inbound X-Request-Id is
+// honoured), echoed on the X-Request-Id response header, stamped on the
+// per-request trace span, and logged — method, route, status, bytes,
+// duration, cache state — on stderr in key=value or JSON form
+// (-log-format text|json|none). A runtime collector samples goroutine,
+// heap, and GC gauges onto /metrics every -runtime-metrics interval.
+//
 // Usage:
 //
 //	hfserved -addr :8080
 //	hfserved -cache 128 -max-runs 4 -workers 8
 //	hfserved -max-scale 0.25 -default-scale 0.05
 //	hfserved -max-datasets 8 -max-dataset-bytes 67108864
+//	hfserved -log-format json        # machine-parsed access log
 //	hfserved -pprof -trace           # pprof endpoints + span tree on exit
+//	hfserved -version
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight pipeline runs are
 // cancelled through the pipeline's context threading (waiters get 503),
@@ -41,7 +50,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +61,7 @@ import (
 
 	"turnup/internal/obs"
 	"turnup/internal/serve"
+	"turnup/internal/version"
 )
 
 func main() {
@@ -66,8 +78,20 @@ func main() {
 	maxDatasetBytes := flag.Int64("max-dataset-bytes", 256<<20, "per-upload body cap and total dataset-store bytes")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := flag.Bool("trace", false, "record per-request spans; span tree printed on stderr at exit")
+	logFormat := flag.String("log-format", "text", "access-log format: text, json, or none")
+	runtimeEvery := flag.Duration("runtime-metrics", 5*time.Second, "runtime gauge sampling interval (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline after SIGINT/SIGTERM")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	accessLog, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -80,6 +104,11 @@ func main() {
 	if *trace {
 		tracer = obs.NewTracer("hfserved")
 	}
+	reg := obs.NewRegistry()
+	if *runtimeEvery > 0 {
+		stopCollector := obs.StartRuntimeCollector(reg, *runtimeEvery)
+		defer stopCollector()
+	}
 	srv := serve.New(serve.Options{
 		CacheSize:       *cache,
 		MaxRuns:         *maxRuns,
@@ -89,16 +118,23 @@ func main() {
 		DefaultK:        *defaultK,
 		MaxDatasets:     *maxDatasets,
 		MaxDatasetBytes: *maxDatasetBytes,
-		Metrics:         obs.NewRegistry(),
+		Metrics:         reg,
+		AccessLog:       accessLog,
 		Trace:           tracer,
 		Pprof:           *pprofFlag,
 		BaseContext:     runCtx,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	// Listen explicitly (rather than ListenAndServe) so ":0" ephemeral
+	// binds log the port that was actually chosen.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("version %s listening on %s", version.String(), ln.Addr())
 
 	select {
 	case err := <-errc:

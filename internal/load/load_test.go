@@ -1,0 +1,259 @@
+// Tests for the load harness: an end-to-end run against a live httptest
+// server (stub pipeline, real cache/dataset/observability layers), the
+// report round-trip, and the p99 regression/SLO gates. Run with -race:
+// the dispatcher, worker pool, and counters are the concurrency surface.
+package load_test
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"turnup"
+	"turnup/internal/load"
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+var (
+	tinyOnce sync.Once
+	tinyRes  *turnup.Results
+	tinyErr  error
+)
+
+// tinyResults runs the real pipeline once at a small scale; the stub
+// Runner hands the same results to every report request so load tests
+// measure the serving layer, not the simulation.
+func tinyResults(t testing.TB) *turnup.Results {
+	t.Helper()
+	tinyOnce.Do(func() {
+		var d *turnup.Dataset
+		if d, tinyErr = turnup.Generate(turnup.Config{Seed: 7, Scale: 0.02}); tinyErr != nil {
+			return
+		}
+		tinyRes, tinyErr = turnup.Run(d, turnup.RunOptions{Seed: 7, SkipModels: true})
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyRes
+}
+
+// loadServer boots a full serve.Server (stub pipeline) for the harness
+// to drive.
+func loadServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	res := tinyResults(t)
+	srv := serve.New(serve.Options{
+		CacheSize: 32,
+		MaxRuns:   4,
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			return res, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunEndToEnd drives the default mix against a live server and
+// checks the report: every request accounted for, zero errors, zero
+// request-id mismatches, hot traffic hitting the cache, and a report
+// that survives the write/read round-trip and passes its own gate.
+func TestRunEndToEnd(t *testing.T) {
+	ts := loadServer(t)
+	reg := obs.NewRegistry()
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:     ts.URL,
+		RPS:         200,
+		Duration:    600 * time.Millisecond,
+		Workers:     8,
+		Seed:        1,
+		Scale:       0.02,
+		UploadScale: 0.01,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d of %d requests:\n%+v", rep.Errors, rep.Requests, rep.Routes)
+	}
+	if rep.RequestIDMismatches != 0 {
+		t.Fatalf("request-id mismatches = %d: server broke the X-Request-Id echo contract", rep.RequestIDMismatches)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatalf("achieved RPS = %v", rep.AchievedRPS)
+	}
+	if rep.CacheHitRate == 0 {
+		t.Fatalf("cache hit rate = 0; hot requests should repeat one cache key (routes %+v)", rep.Routes)
+	}
+	if rep.OverallMS.P99 <= 0 || rep.OverallMS.P99 < rep.OverallMS.P50 {
+		t.Fatalf("latency summary out of order: %+v", rep.OverallMS)
+	}
+	if rep.Version == "" || rep.Target != ts.URL || rep.Seed != 1 {
+		t.Fatalf("report identity fields: version=%q target=%q seed=%d", rep.Version, rep.Target, rep.Seed)
+	}
+	var total int64
+	seen := map[string]bool{}
+	for _, rr := range rep.Routes {
+		total += rr.Requests
+		seen[rr.Route] = true
+		if rr.Requests > 0 && rr.Errors == 0 && rr.LatencyMS.P99 < rr.LatencyMS.P50 {
+			t.Errorf("route %s latency out of order: %+v", rr.Route, rr.LatencyMS)
+		}
+	}
+	if total != rep.Requests {
+		t.Fatalf("route totals %d != overall %d", total, rep.Requests)
+	}
+	// ~120 requests through a 6/1/2/1/2 mix: every kind should appear.
+	for _, want := range []string{"report:hot", "report:cold", "report:section", "datasets:upload", "report:dataset"} {
+		if !seen[want] {
+			t.Errorf("mix never issued route %s (routes %v)", want, seen)
+		}
+	}
+
+	// The harness's own histograms are registered per route and outcome.
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for _, m := range snap {
+		names = append(names, m.Name)
+	}
+	if !contains(names, `load_request_seconds{route="report:hot",outcome="ok"}`) {
+		t.Errorf("registry missing hot-route histogram; have %v", names)
+	}
+
+	// Round-trip and self-gate.
+	var buf strings.Builder
+	if err := rep.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load.ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || back.Mix != rep.Mix || len(back.Routes) != len(rep.Routes) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+	if math.Abs(back.OverallMS.P99-rep.OverallMS.P99) > 1e-9 {
+		t.Fatalf("round-trip p99: %v vs %v", back.OverallMS.P99, rep.OverallMS.P99)
+	}
+	if err := rep.Gate(back, 2); err != nil {
+		t.Fatalf("report failed its own gate: %v", err)
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRunContextCancel: cancelling mid-run still yields a report for the
+// work done so far, plus the context error.
+func TestRunContextCancel(t *testing.T) {
+	ts := loadServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	rep, err := load.Run(ctx, load.Config{
+		BaseURL:  ts.URL,
+		RPS:      100,
+		Duration: 10 * time.Second, // cut short by ctx
+		Workers:  4,
+		Mix:      load.Mix{Hot: 1}, // no upload setup cost
+	})
+	if err == nil {
+		t.Fatal("expected a context error from a cancelled run")
+	}
+	if rep == nil || rep.Requests == 0 {
+		t.Fatalf("cancelled run should still report partial work: %+v", rep)
+	}
+}
+
+// TestWaitReady: not-ready targets time out with the cause, live ones
+// return promptly.
+func TestWaitReady(t *testing.T) {
+	var ready bool
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := ready
+		mu.Unlock()
+		if !ok {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	err := load.WaitReady(context.Background(), nil, ts.URL, 300*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("not-ready wait error = %v, want the 503 cause", err)
+	}
+	mu.Lock()
+	ready = true
+	mu.Unlock()
+	if err := load.WaitReady(context.Background(), nil, ts.URL, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGate pins the regression contract: >factor× p99 per route or
+// overall fails; sub-millisecond baselines are floored at 1ms; routes
+// missing from the baseline are skipped.
+func TestGate(t *testing.T) {
+	mk := func(overall float64, routes map[string]float64) *load.Report {
+		rep := &load.Report{OverallMS: load.Latency{P99: overall}}
+		for name, p99 := range routes {
+			rep.Routes = append(rep.Routes, load.RouteReport{Route: name, LatencyMS: load.Latency{P99: p99}})
+		}
+		return rep
+	}
+	baseline := mk(10, map[string]float64{"report:hot": 0.2, "report:cold": 40})
+
+	if err := mk(19, map[string]float64{"report:hot": 0.3, "report:cold": 75}).Gate(baseline, 2); err != nil {
+		t.Fatalf("within-budget run failed the gate: %v", err)
+	}
+	if err := mk(21, nil).Gate(baseline, 2); err == nil || !strings.Contains(err.Error(), "overall") {
+		t.Fatalf("overall regression not caught: %v", err)
+	}
+	if err := mk(10, map[string]float64{"report:cold": 90}).Gate(baseline, 2); err == nil || !strings.Contains(err.Error(), "report:cold") {
+		t.Fatalf("route regression not caught: %v", err)
+	}
+	// 0.2ms → floored to 1ms: 1.9ms passes at factor 2, 2.5ms fails.
+	if err := mk(10, map[string]float64{"report:hot": 1.9}).Gate(baseline, 2); err != nil {
+		t.Fatalf("sub-floor jitter flaked the gate: %v", err)
+	}
+	if err := mk(10, map[string]float64{"report:hot": 2.5}).Gate(baseline, 2); err == nil {
+		t.Fatal("above-floor regression not caught")
+	}
+	// Routes new in this run have no baseline: skipped, not failed.
+	if err := mk(10, map[string]float64{"report:dataset": 500}).Gate(baseline, 2); err != nil {
+		t.Fatalf("baseline-less route should be skipped: %v", err)
+	}
+}
+
+func TestCheckSLO(t *testing.T) {
+	rep := &load.Report{OverallMS: load.Latency{P99: 120}}
+	if err := rep.CheckSLO(0); err != nil {
+		t.Fatalf("disabled SLO: %v", err)
+	}
+	if err := rep.CheckSLO(200); err != nil {
+		t.Fatalf("within SLO: %v", err)
+	}
+	if err := rep.CheckSLO(100); err == nil {
+		t.Fatal("blown SLO not caught")
+	}
+}

@@ -128,21 +128,39 @@ func fmtBytes(b int64) string {
 
 // WritePrometheus dumps the registry in the Prometheus text exposition
 // format: counters and gauges as single samples, histograms in summary
-// style (quantile-labelled samples plus _sum and _count).
+// style (quantile-labelled samples plus _sum and _count). Labelled series
+// (registry names like `seconds{route="r"}`) keep their labels on every
+// sample — the quantile label is merged into the existing set — and share
+// one # TYPE line per base name.
 func WritePrometheus(w io.Writer, r *Registry) {
+	typed := make(map[string]bool)
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+	}
 	for _, m := range r.Snapshot() {
+		base, labels := promName(m.Name), promLabels(m.Name)
 		switch m.Kind {
 		case "counter", "gauge":
-			fmt.Fprintf(w, "# TYPE %s %s\n", promName(m.Name), m.Kind)
+			writeType(base, m.Kind)
 			fmt.Fprintf(w, "%s %s\n", m.Name, promFloat(m.Value))
 		case "histogram":
-			name := promName(m.Name)
-			fmt.Fprintf(w, "# TYPE %s summary\n", name)
-			for i, q := range []string{"0.5", "0.9", "0.99"} {
-				fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q, promFloat(m.Quantiles[i]))
+			writeType(base, "summary")
+			for i, q := range []string{"0.5", "0.9", "0.95", "0.99"} {
+				ql := fmt.Sprintf("quantile=%q", q)
+				if labels != "" {
+					ql = labels + "," + ql
+				}
+				fmt.Fprintf(w, "%s{%s} %s\n", base, ql, promFloat(m.Quantiles[i]))
 			}
-			fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(m.Value))
-			fmt.Fprintf(w, "%s_count %d\n", name, m.Count)
+			suffix := ""
+			if labels != "" {
+				suffix = "{" + labels + "}"
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, promFloat(m.Value))
+			fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, m.Count)
 		}
 	}
 }
@@ -153,6 +171,16 @@ func promName(name string) string {
 		return name[:i]
 	}
 	return name
+}
+
+// promLabels returns the label body of a `name{labels}` metric name
+// (without braces), or "" when the name carries no labels.
+func promLabels(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
 }
 
 func promFloat(v float64) string {

@@ -1,14 +1,43 @@
 package obs
 
-import "net/http"
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+)
 
-// MetricsHandler serves the registry in the Prometheus text exposition
-// format — the /metrics endpoint of hfserved. Each request renders a fresh
-// Snapshot, so the handler is safe to mount once and scrape forever; a nil
-// registry serves an empty (but valid) exposition.
+// MetricsHandler serves the registry — the /metrics endpoint of hfserved.
+// The default body is the Prometheus text exposition; `?format=json` (or
+// an Accept header naming application/json) switches to the Snapshot as a
+// JSON array. Both forms carry an explicit Content-Type and are gzipped
+// when the client advertises Accept-Encoding: gzip — per-route histogram
+// expositions grow wide enough under load for that to matter. Each request
+// renders a fresh Snapshot, so the handler is safe to mount once and
+// scrape forever; a nil registry serves an empty (but valid) exposition.
 func MetricsHandler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w, r)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
+		var out io.Writer = w
+		if strings.Contains(req.Header.Get("Accept-Encoding"), "gzip") {
+			w.Header().Set("Content-Encoding", "gzip")
+			gz := gzip.NewWriter(w)
+			defer gz.Close()
+			out = gz
+		}
+		if wantJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		WritePrometheus(out, r)
 	})
 }

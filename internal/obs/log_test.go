@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2020, 3, 11, 12, 0, 0, 0, time.UTC)
+}
+
+func TestTextLoggerLine(t *testing.T) {
+	var b strings.Builder
+	l := NewTextLogger(&b)
+	l.now = fixedNow
+	l.Log("request",
+		F("method", "GET"),
+		F("route", "report/{section}"),
+		F("status", 200),
+		F("dur", 12500*time.Microsecond),
+		F("note", "two words"),
+	)
+	want := `time=2020-03-11T12:00:00Z event=request method=GET route=report/{section} status=200 dur=12.5ms note="two words"` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestJSONLoggerShape parses the emitted line back and checks every field
+// arrives with its type intact — the access-log JSON contract.
+func TestJSONLoggerShape(t *testing.T) {
+	var b strings.Builder
+	l := NewJSONLogger(&b)
+	l.now = fixedNow
+	l.Log("request",
+		F("id", "abc-000001"),
+		F("status", 200),
+		F("bytes", int64(512)),
+		F("dur_ms", 1.5),
+	)
+	line := b.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	for k, want := range map[string]any{
+		"time":   "2020-03-11T12:00:00Z",
+		"event":  "request",
+		"id":     "abc-000001",
+		"status": 200.0,
+		"bytes":  512.0,
+		"dur_ms": 1.5,
+	} {
+		if m[k] != want {
+			t.Errorf("field %q = %#v, want %#v", k, m[k], want)
+		}
+	}
+	// Field order is stable: time and event lead.
+	if !strings.HasPrefix(line, `{"time":"2020-03-11T12:00:00Z","event":"request"`) {
+		t.Errorf("line does not lead with time/event: %s", line)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var b strings.Builder
+	if l, err := NewLogger(&b, "text"); err != nil || l == nil || l.json {
+		t.Errorf("text: %v %+v", err, l)
+	}
+	if l, err := NewLogger(&b, "json"); err != nil || l == nil || !l.json {
+		t.Errorf("json: %v %+v", err, l)
+	}
+	if l, err := NewLogger(&b, "none"); err != nil || l != nil {
+		t.Errorf("none: %v %+v", err, l)
+	}
+	if _, err := NewLogger(&b, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestLoggerNilAndConcurrent: nil loggers are no-ops, and concurrent Log
+// calls never interleave within a line (run under -race).
+func TestLoggerNilAndConcurrent(t *testing.T) {
+	var nilLogger *Logger
+	nilLogger.Log("ignored", F("k", "v")) // must not panic
+
+	var b syncBuffer
+	l := NewJSONLogger(&b)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Log("e", F("worker", w), F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("lines = %d, want 800", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved line %q: %v", line, err)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded Builder: the logger serialises writers,
+// but the test's final read still needs its own synchronisation.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -66,12 +66,58 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram records a stream of observations and answers count / sum /
-// quantile queries. Observations are retained exactly (the pipeline records
-// at stage granularity, so cardinality stays small).
+// Histogram bucket geometry: fixed log-spaced boundaries covering
+// 1e-9 .. 1e6 (nanoseconds to ~11 days when observing seconds) at ten
+// buckets per decade, so every histogram costs a constant ~1.2 KiB no
+// matter how many observations it absorbs. Ten buckets per decade bound
+// the relative width of one bucket at 10^0.1 ≈ 1.26, which — combined
+// with geometric interpolation inside the bucket and clamping to the
+// exact observed min/max — keeps quantile estimates within a few percent
+// on smooth distributions. Fixed (rather than adaptive) boundaries are
+// what make a request-rate histogram safe: Observe is O(1), never
+// rebalances, and never grows.
+const (
+	histMinBound         = 1e-9
+	histBucketsPerDecade = 10
+	histDecades          = 15
+	histBuckets          = histBucketsPerDecade * histDecades
+)
+
+// histBound returns the upper bound of regular bucket i (1-based).
+func histBound(i int) float64 {
+	return histMinBound * math.Pow(10, float64(i)/histBucketsPerDecade)
+}
+
+// histBucketFor maps an observation to its bucket index: 0 is the
+// underflow bucket (v <= 1e-9, including zero and negatives), 1..histBuckets
+// are the log-spaced buckets, histBuckets+1 is overflow.
+func histBucketFor(v float64) int {
+	if v <= histMinBound || math.IsNaN(v) {
+		return 0
+	}
+	idx := 1 + int(math.Floor(math.Log10(v/histMinBound)*histBucketsPerDecade))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > histBuckets {
+		idx = histBuckets + 1
+	}
+	return idx
+}
+
+// Histogram records a stream of observations into fixed log-spaced buckets
+// and answers count / sum / min / max / quantile queries. Count, Sum, Min,
+// and Max are exact; Quantile is an estimate bounded by the bucket
+// resolution (~±12% worst case, far tighter in practice). Memory is
+// constant regardless of observation volume, which is what lets the serve
+// tier record one histogram per route+status under sustained load.
 type Histogram struct {
-	mu   sync.Mutex
-	vals []float64
+	mu     sync.Mutex
+	counts [histBuckets + 2]uint64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
 }
 
 // Observe records one value.
@@ -80,7 +126,15 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.mu.Lock()
-	h.vals = append(h.vals, v)
+	h.counts[histBucketFor(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
 	h.mu.Unlock()
 }
 
@@ -91,7 +145,7 @@ func (h *Histogram) Count() int {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.vals)
+	return int(h.count)
 }
 
 // Sum returns the sum of observations.
@@ -101,19 +155,30 @@ func (h *Histogram) Sum() float64 {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := 0.0
-	for _, v := range h.vals {
-		s += v
-	}
-	return s
+	return h.sum
 }
 
 // Mean returns the mean observation (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if n := h.Count(); n > 0 {
-		return h.Sum() / float64(n)
+	if h == nil {
+		return 0
 	}
-	return 0
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
 }
 
 // Max returns the largest observation (0 when empty).
@@ -123,41 +188,56 @@ func (h *Histogram) Max() float64 {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	m := 0.0
-	for i, v := range h.vals {
-		if i == 0 || v > m {
-			m = v
-		}
-	}
-	return m
+	return h.max
 }
 
-// Quantile returns the q-quantile (q in [0,1]) with linear interpolation
-// between order statistics; it returns 0 when the histogram is empty.
+// Quantile estimates the q-quantile (q in [0,1]): it walks the cumulative
+// bucket counts to the target rank and interpolates geometrically inside
+// the landing bucket (log-spaced buckets make the geometric mean the
+// unbiased position), clamping to the exact observed min/max so the tails
+// never report values outside the data. Empty histograms return 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
 	h.mu.Lock()
-	vals := append([]float64(nil), h.vals...)
-	h.mu.Unlock()
-	if len(vals) == 0 {
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
-	sort.Float64s(vals)
 	if q <= 0 {
-		return vals[0]
+		return h.min
 	}
 	if q >= 1 {
-		return vals[len(vals)-1]
+		return h.max
 	}
-	rank := q * float64(len(vals)-1)
-	lo := int(math.Floor(rank))
-	frac := rank - float64(lo)
-	if lo+1 >= len(vals) {
-		return vals[len(vals)-1]
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
 	}
-	return vals[lo]*(1-frac) + vals[lo+1]*frac
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += int64(c)
+		if cum < target {
+			continue
+		}
+		var est float64
+		switch i {
+		case 0:
+			est = h.min
+		case histBuckets + 1:
+			est = h.max
+		default:
+			lo, hi := histBound(i-1), histBound(i)
+			frac := 1 - (float64(cum-target)+0.5)/float64(c)
+			est = lo * math.Pow(hi/lo, frac)
+		}
+		return math.Min(math.Max(est, h.min), h.max)
+	}
+	return h.max // unreachable: cum reaches count
 }
 
 // Registry names and owns a run's metrics. Lookup methods create the metric
@@ -231,7 +311,9 @@ type Metric struct {
 	Value float64 `json:"value"` // counter/gauge value; histogram sum
 	// Histogram-only summary fields.
 	Count     int        `json:"count,omitempty"`
-	Quantiles [3]float64 `json:"quantiles,omitempty"` // p50, p90, p99
+	Min       float64    `json:"min,omitempty"`
+	Max       float64    `json:"max,omitempty"`
+	Quantiles [4]float64 `json:"quantiles,omitempty"` // p50, p90, p95, p99
 }
 
 // Snapshot returns every metric, sorted by (kind, name), for exporters.
@@ -264,7 +346,8 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range hists {
 		out = append(out, Metric{
 			Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count(),
-			Quantiles: [3]float64{h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)},
+			Min: h.Min(), Max: h.Max(),
+			Quantiles: [4]float64{h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.95), h.Quantile(0.99)},
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -69,30 +69,80 @@ func TestHistogramQuantiles(t *testing.T) {
 	if h.Quantile(0.5) != 0 {
 		t.Error("empty histogram quantile should be 0")
 	}
-	// 0..100 inclusive: quantiles are exact order statistics.
+	// 0..100 inclusive: count/sum/mean/min/max are exact, quantile
+	// estimates land within the log-bucket resolution, and q=0 / q=1 are
+	// pinned to the exact extremes.
 	for i := 0; i <= 100; i++ {
 		h.Observe(float64(i))
 	}
-	cases := []struct{ q, want float64 }{
-		{0, 0}, {0.25, 25}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want exact min 0", got)
 	}
-	for _, c := range cases {
-		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
-			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want exact max 100", got)
+	}
+	for _, c := range []struct{ q, want float64 }{{0.25, 25}, {0.5, 50}, {0.9, 90}, {0.99, 99}} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 0.15*c.want {
+			t.Errorf("Quantile(%v) = %v, want %v ±15%%", c.q, got, c.want)
 		}
-	}
-	// Interpolation between order statistics.
-	h2 := &Histogram{}
-	h2.Observe(0)
-	h2.Observe(10)
-	if got := h2.Quantile(0.5); math.Abs(got-5) > 1e-9 {
-		t.Errorf("interpolated median = %v, want 5", got)
 	}
 	if h.Count() != 101 || math.Abs(h.Sum()-5050) > 1e-9 || math.Abs(h.Mean()-50) > 1e-9 {
 		t.Errorf("count/sum/mean = %d/%v/%v", h.Count(), h.Sum(), h.Mean())
 	}
-	if h.Max() != 100 {
-		t.Errorf("max = %v", h.Max())
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// A single observation reports itself for every quantile (clamping).
+	h1 := &Histogram{}
+	h1.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h1.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the bucketed estimator against
+// known distributions: uniform and exponential samples at latency-like
+// magnitudes must estimate p50/p90/p95/p99 within the advertised bucket
+// resolution (well under 15% relative error).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform over [1ms, 1s]: true q-quantile is 0.001 + q*0.999.
+	u := &Histogram{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u.Observe(0.001 + 0.999*float64(i)/float64(n-1))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := 0.001 + q*0.999
+		if got := u.Quantile(q); math.Abs(got-want)/want > 0.15 {
+			t.Errorf("uniform Quantile(%v) = %v, want %v ±15%%", q, got, want)
+		}
+	}
+	// Exponential with mean 50ms (inverse-CDF sampled): true q-quantile
+	// is -mean*ln(1-q). Heavy right tail exercises the high buckets.
+	e := &Histogram{}
+	const mean = 0.050
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		e.Observe(-mean * math.Log(1-p))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := -mean * math.Log(1-q)
+		if got := e.Quantile(q); math.Abs(got-want)/want > 0.15 {
+			t.Errorf("exponential Quantile(%v) = %v, want %v ±15%%", q, got, want)
+		}
+	}
+	// Out-of-range observations land in the underflow/overflow buckets
+	// and still answer exact min/max.
+	o := &Histogram{}
+	o.Observe(0)
+	o.Observe(1e9)
+	if o.Min() != 0 || o.Max() != 1e9 || o.Count() != 2 {
+		t.Errorf("extremes: min=%v max=%v count=%d", o.Min(), o.Max(), o.Count())
+	}
+	if got := o.Quantile(1); got != 1e9 {
+		t.Errorf("overflow Quantile(1) = %v, want 1e9", got)
 	}
 }
 
@@ -121,8 +171,10 @@ func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("contracts_total").Add(12)
 	r.Gauge(`sweep_wall_seconds{seed="1"}`).Set(0.25)
+	r.Gauge(`sweep_wall_seconds{seed="2"}`).Set(0.5)
 	r.Histogram("stage_seconds").Observe(1)
 	r.Histogram("stage_seconds").Observe(3)
+	r.Histogram(`req_seconds{route="report",status="200"}`).Observe(0.02)
 	var b strings.Builder
 	WritePrometheus(&b, r)
 	out := b.String()
@@ -131,13 +183,23 @@ func TestWritePrometheus(t *testing.T) {
 		"contracts_total 12",
 		"# TYPE sweep_wall_seconds gauge",
 		`sweep_wall_seconds{seed="1"} 0.25`,
+		`sweep_wall_seconds{seed="2"} 0.5`,
 		"# TYPE stage_seconds summary",
-		`stage_seconds{quantile="0.5"} 2`,
+		`stage_seconds{quantile="0.5"} `,
+		`stage_seconds{quantile="0.99"} `,
 		"stage_seconds_sum 4",
 		"stage_seconds_count 2",
+		// Labelled histograms keep their labels on every summary sample.
+		`req_seconds{route="report",status="200",quantile="0.5"} `,
+		`req_seconds_sum{route="report",status="200"} 0.02`,
+		`req_seconds_count{route="report",status="200"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus dump missing %q:\n%s", want, out)
 		}
+	}
+	// One # TYPE line per base name, however many labelled series share it.
+	if got := strings.Count(out, "# TYPE sweep_wall_seconds gauge"); got != 1 {
+		t.Errorf("TYPE line for sweep_wall_seconds appears %d times, want 1:\n%s", got, out)
 	}
 }

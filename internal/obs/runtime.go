@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeCollector samples runtime health into gauges on a ticker and
+// returns a stop function (idempotent; it blocks until the sampling
+// goroutine exits). One sample is taken synchronously before returning, so
+// every gauge is registered — and scrapeable — the moment the collector
+// starts. A nil registry returns a no-op stop; every <= 0 defaults to 5s.
+//
+// Gauges: runtime_goroutines, runtime_gomaxprocs, runtime_heap_alloc_bytes,
+// runtime_heap_objects, runtime_gc_runs_total, runtime_gc_pause_total_seconds,
+// and runtime_gc_last_pause_seconds. Together with the serve-layer request
+// histograms they answer the saturation questions a load run raises: was
+// the process goroutine-bound, heap-bound, or GC-bound while p99 moved?
+func StartRuntimeCollector(reg *Registry, every time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	sample := func() {
+		reg.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+		reg.Gauge("runtime_gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		reg.Gauge("runtime_heap_alloc_bytes").Set(float64(m.HeapAlloc))
+		reg.Gauge("runtime_heap_objects").Set(float64(m.HeapObjects))
+		reg.Gauge("runtime_gc_runs_total").Set(float64(m.NumGC))
+		reg.Gauge("runtime_gc_pause_total_seconds").Set(float64(m.PauseTotalNs) / 1e9)
+		if m.NumGC > 0 {
+			reg.Gauge("runtime_gc_last_pause_seconds").Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollectorRegistersGauges: the synchronous first sample must
+// register every gauge before StartRuntimeCollector returns, stop must be
+// idempotent, and sampled values must be sane.
+func TestRuntimeCollectorRegistersGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Hour) // ticker never fires in-test
+	defer stop()
+	for _, name := range []string{
+		"runtime_goroutines",
+		"runtime_gomaxprocs",
+		"runtime_heap_alloc_bytes",
+		"runtime_heap_objects",
+		"runtime_gc_runs_total",
+		"runtime_gc_pause_total_seconds",
+	} {
+		if v := reg.Gauge(name).Value(); v < 0 {
+			t.Errorf("gauge %s = %v, want >= 0", name, v)
+		}
+	}
+	if v := reg.Gauge("runtime_goroutines").Value(); v < 1 {
+		t.Errorf("runtime_goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("runtime_gomaxprocs").Value(); v < 1 {
+		t.Errorf("runtime_gomaxprocs = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("runtime_heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("runtime_heap_alloc_bytes = %v, want > 0", v)
+	}
+	stop()
+	stop() // second call must not panic
+	if StartRuntimeCollector(nil, time.Second) == nil {
+		t.Error("nil registry must still return a stop func")
+	}
+}
+
+func TestRuntimeCollectorTicks(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Millisecond)
+	defer stop()
+	g := reg.Gauge("runtime_goroutines")
+	deadline := time.After(2 * time.Second)
+	for g.Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("collector never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestMetricsHandlerContentTypes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total").Add(3)
+	reg.Histogram("lat_seconds").Observe(0.5)
+	h := MetricsHandler(reg)
+
+	// Prometheus text by default.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "ops_total 3") {
+		t.Errorf("prometheus body missing counter:\n%s", rr.Body.String())
+	}
+
+	// ?format=json switches to the Snapshot array.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	if body := rr.Body.String(); !strings.Contains(body, `"ops_total"`) || !strings.Contains(body, `"histogram"`) {
+		t.Errorf("json body:\n%s", body)
+	}
+
+	// Accept-Encoding: gzip compresses either form.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if ce := rr.Header().Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	gz, err := gzip.NewReader(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(plain), "ops_total 3") {
+		t.Errorf("gzipped body missing counter:\n%s", plain)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Request-id generation: a per-process random prefix plus a monotonic
+// counter. Inbound X-Request-Id headers win (so a router or client can
+// stitch its own trace through the access log), after sanitisation — a
+// header is an attacker-controlled string and the access log is a parsed
+// artefact, so anything over-long or outside a safe alphabet is replaced,
+// not propagated.
+var (
+	reqIDPrefix  = randomPrefix()
+	reqIDCounter atomic.Uint64
+)
+
+func randomPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "turnup"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen bounds accepted inbound request ids.
+const maxRequestIDLen = 64
+
+// requestID returns the id for this request: the sanitised inbound
+// X-Request-Id when present, else a fresh "<prefix>-<n>" id.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= maxRequestIDLen && safeRequestID(id) {
+		return id
+	}
+	var buf [20]byte
+	n := reqIDCounter.Add(1)
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		if n /= 10; n == 0 {
+			break
+		}
+	}
+	return reqIDPrefix + "-" + string(buf[i:])
+}
+
+// safeRequestID accepts alphanumerics plus the usual id punctuation.
+func safeRequestID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// routeLabel maps a request path onto the served route pattern, bounding
+// the label cardinality of the per-route metrics and the access log: path
+// parameters collapse to their placeholder and unknown paths to "other",
+// so a URL-scanning client cannot mint unbounded metric series.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/report":
+		return "/v1/report"
+	case strings.HasPrefix(path, "/v1/report/"):
+		return "/v1/report/{section}"
+	case path == "/v1/datasets":
+		return "/v1/datasets"
+	case strings.HasPrefix(path, "/v1/datasets/"):
+		return "/v1/datasets/{id}"
+	case path == "/v1/sections", path == "/v1/stages", path == "/healthz", path == "/metrics":
+		return path
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter records the response code and body bytes for metrics,
+// spans, and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}

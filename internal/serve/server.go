@@ -13,6 +13,7 @@ import (
 
 	"turnup"
 	"turnup/internal/obs"
+	"turnup/internal/version"
 )
 
 // Options configures a Server. The zero value serves with sane defaults:
@@ -37,8 +38,11 @@ type Options struct {
 	// Metrics receives request, cache, and run metrics and is exported on
 	// /metrics; a fresh registry is created when nil.
 	Metrics *obs.Registry
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, route, status, bytes, duration, cache state, request id).
+	AccessLog *obs.Logger
 	// Trace, when non-nil, records one child span per request under the
-	// tracer's root (method, path, status, cache outcome).
+	// tracer's root (method, path, status, cache outcome, request id).
 	Trace *obs.Tracer
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
@@ -93,6 +97,9 @@ func New(opts Options) *Server {
 		runner = s.pipelineRunner(opts.Workers)
 	}
 	s.cache = NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.Metrics)
+	// The constant-1 build-info gauge is the Prometheus idiom for joining
+	// any other metric to the build that produced it.
+	s.reg.Gauge(fmt.Sprintf(`turnup_build_info{version=%q}`, version.String())).Set(1)
 	for _, st := range turnup.Stages() {
 		s.modelStage[st.Name] = st.Model
 	}
@@ -151,42 +158,53 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Datasets() *Store { return s.datasets }
 
 // ServeHTTP dispatches through the mux under the request-level
-// observability contract: a request counter, an in-flight gauge, a
-// latency histogram, an error counter for 4xx/5xx, and — when tracing is
-// enabled — one span per request annotated with status and cache outcome.
+// observability contract: every request gets an id (an inbound
+// X-Request-Id is honoured, else one is minted) stamped on the response
+// header, the per-request trace span, and the access-log line — so a
+// client report, a log line, and a span can always be joined. Metrics:
+// a request counter, an in-flight gauge, the overall latency histogram,
+// a per-route+status latency histogram (serve_http_request_seconds,
+// which is what hfload's client-side view is cross-checked against),
+// and an error counter for 4xx/5xx.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r)
 	s.reg.Counter("serve_http_requests_total").Inc()
 	s.reg.Gauge("serve_http_inflight").Add(1)
 	var sp *obs.Span
 	if s.opts.Trace != nil {
 		sp = s.opts.Trace.Root().StartChild("http " + r.Method + " " + r.URL.Path)
+		sp.SetAttr("request_id", id)
 	}
 	rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	rw.Header().Set("X-Request-Id", id)
 	start := time.Now()
 	s.mux.ServeHTTP(rw, r)
-	s.reg.Histogram("serve_http_seconds").Observe(time.Since(start).Seconds())
+	dur := time.Since(start)
+	route := routeLabel(r.URL.Path)
+	s.reg.Histogram("serve_http_seconds").Observe(dur.Seconds())
+	s.reg.Histogram(fmt.Sprintf(`serve_http_request_seconds{route=%q,status="%d"}`, route, rw.code)).Observe(dur.Seconds())
 	s.reg.Gauge("serve_http_inflight").Add(-1)
 	if rw.code >= 400 {
 		s.reg.Counter("serve_http_errors_total").Inc()
 	}
+	cache := rw.Header().Get("X-Cache")
 	if sp != nil {
 		sp.SetInt("status", rw.code)
-		if cs := rw.Header().Get("X-Cache"); cs != "" {
-			sp.SetAttr("cache", cs)
+		if cache != "" {
+			sp.SetAttr("cache", cache)
 		}
 		sp.End()
 	}
-}
-
-// statusWriter records the response code for metrics and spans.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
+	s.opts.AccessLog.Log("request",
+		obs.F("id", id),
+		obs.F("method", r.Method),
+		obs.F("route", route),
+		obs.F("path", r.URL.Path),
+		obs.F("status", rw.code),
+		obs.F("bytes", rw.bytes),
+		obs.F("dur_ms", float64(dur)/float64(time.Millisecond)),
+		obs.F("cache", cache),
+	)
 }
 
 // reportResponse is the JSON body of /v1/report.
@@ -367,12 +385,32 @@ func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness plus a little state: uptime, the number
-// of cached results, and the number of stored datasets.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// healthResponse is the JSON body of /healthz?format=json.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Cached        int     `json:"cached"`
+	Datasets      int     `json:"datasets"`
+}
+
+// handleHealthz reports liveness plus a little state: the build version,
+// uptime, the number of cached results, and the number of stored datasets
+// — as text by default, as JSON under ?format=json or Accept.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if wantJSON(r) {
+		s.writeJSON(w, http.StatusOK, healthResponse{
+			Status:        "ok",
+			Version:       version.String(),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			Cached:        s.cache.Len(),
+			Datasets:      s.datasets.Len(),
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok uptime=%s cached=%d datasets=%d\n",
-		time.Since(s.start).Round(time.Second), s.cache.Len(), s.datasets.Len())
+	fmt.Fprintf(w, "ok version=%s uptime=%s cached=%d datasets=%d\n",
+		version.String(), time.Since(s.start).Round(time.Second), s.cache.Len(), s.datasets.Len())
 }
 
 // fail writes an error response in the request's preferred format.

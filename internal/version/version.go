@@ -1,0 +1,54 @@
+// Package version resolves the build's version string. Release builds
+// stamp it through the linker:
+//
+//	go build -ldflags "-X turnup/internal/version.override=$(git describe --always --dirty)"
+//
+// (the Makefile does this for every binary it builds). Unstamped builds
+// fall back to runtime/debug.ReadBuildInfo — the VCS revision when the
+// module was built inside a checkout, the module version when installed
+// via `go install` — and finally to "dev". The string surfaces in
+// /healthz JSON, the -version flag of hfserved and hfload, the
+// turnup_build_info metric, and BENCH_serve_load.json, so a latency
+// regression can always be tied to the exact build that produced it.
+package version
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// override is set via -ldflags -X; empty means fall back to build info.
+var override string
+
+var resolved = sync.OnceValue(func() string {
+	if override != "" {
+		return override
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+})
+
+// String returns the resolved version.
+func String() string { return resolved() }

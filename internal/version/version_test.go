@@ -1,0 +1,15 @@
+package version
+
+import "testing"
+
+// Without an ldflags override or module build info the resolver must
+// still produce a stable, non-empty stamp (the "dev" fallback chain).
+func TestStringStableAndNonEmpty(t *testing.T) {
+	a, b := String(), String()
+	if a == "" {
+		t.Fatal("version.String() is empty")
+	}
+	if a != b {
+		t.Fatalf("version.String() unstable: %q then %q", a, b)
+	}
+}
