@@ -8,10 +8,12 @@
 #   make bench-smoke     # fail if the suite regresses >2x vs BENCH_index.json
 #   make bench-serve     # cache-hit vs cold-request latency
 #   make bench-load      # hfload run against a booted hfserved → BENCH_serve_load.json
+#   make bench-load-router # hfload run through hfrouter over 2 shards → BENCH_router_load.json
+#   make router-smoke    # boot 2 shards + hfrouter, verify routing end to end
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load bench-load-router router-smoke serve
 
 # Benchmarks that claim parallel speedups must run at full machine width;
 # an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
@@ -116,6 +118,63 @@ bench-load:
 	STATUS=$$?; \
 	kill -TERM $$SERVED 2>/dev/null; wait $$SERVED 2>/dev/null; \
 	exit $$STATUS
+
+# Routed variant of bench-load: two hfserved shards behind hfrouter, the
+# same mix replayed through the router. The report lands in
+# BENCH_router_load.json with the per-shard response distribution.
+ROUTER_ADDR  ?= 127.0.0.1:8090
+SHARD_A_ADDR ?= 127.0.0.1:8101
+SHARD_B_ADDR ?= 127.0.0.1:8102
+bench-load-router:
+	go build $(LDFLAGS) -o /tmp/hfserved ./cmd/hfserved
+	go build $(LDFLAGS) -o /tmp/hfrouter ./cmd/hfrouter
+	go build $(LDFLAGS) -o /tmp/hfload ./cmd/hfload
+	@/tmp/hfserved -addr $(SHARD_A_ADDR) -shard http://$(SHARD_A_ADDR) -max-scale 0.05 -log-format none & A=$$!; \
+	/tmp/hfserved -addr $(SHARD_B_ADDR) -shard http://$(SHARD_B_ADDR) -max-scale 0.05 -log-format none & B=$$!; \
+	/tmp/hfrouter -addr $(ROUTER_ADDR) -shards http://$(SHARD_A_ADDR),http://$(SHARD_B_ADDR) -log-format none & R=$$!; \
+	/tmp/hfload -target http://$(ROUTER_ADDR) -wait 30s \
+	  -duration $(LOAD_DURATION) -rps $(LOAD_RPS) -seed 1 \
+	  -out BENCH_router_load.json $(LOAD_FLAGS); \
+	STATUS=$$?; \
+	kill -TERM $$R $$A $$B 2>/dev/null; wait $$R $$A $$B 2>/dev/null; \
+	exit $$STATUS
+
+# Boot two shards behind hfrouter and verify the sharded tier end to end:
+# the router reports both shards healthy, a dataset uploaded through the
+# router is retrievable through the router, the routed report matches
+# hfanalyze over the same corpus byte for byte, and two well-known report
+# keys land on different shards (X-Shard differs), proving the hash ring
+# actually spreads load. See .github/workflows/ci.yml (router-smoke).
+router-smoke:
+	go build $(LDFLAGS) -o /tmp/hfserved ./cmd/hfserved
+	go build $(LDFLAGS) -o /tmp/hfrouter ./cmd/hfrouter
+	go build $(LDFLAGS) -o /tmp/hfgen ./cmd/hfgen
+	go build $(LDFLAGS) -o /tmp/hfanalyze ./cmd/hfanalyze
+	@set -e; \
+	/tmp/hfserved -addr $(SHARD_A_ADDR) -shard http://$(SHARD_A_ADDR) -max-scale 0.05 -log-format none & A=$$!; \
+	/tmp/hfserved -addr $(SHARD_B_ADDR) -shard http://$(SHARD_B_ADDR) -max-scale 0.05 -log-format none & B=$$!; \
+	/tmp/hfrouter -addr $(ROUTER_ADDR) -shards http://$(SHARD_A_ADDR),http://$(SHARD_B_ADDR) -log-format none & R=$$!; \
+	trap "kill -TERM $$R $$A $$B 2>/dev/null; wait $$R $$A $$B 2>/dev/null" EXIT; \
+	for i in $$(seq 1 100); do \
+	  curl -fsS http://$(ROUTER_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -fsS http://$(ROUTER_ADDR)/healthz | grep -q "shards=2/2" || { echo "router-smoke: FAIL shards not all healthy"; exit 1; }; \
+	/tmp/hfgen -scale 0.01 -seed 42 -out /tmp/router-smoke-corpus; \
+	ID=$$(curl -fsS -F contracts=@/tmp/router-smoke-corpus/contracts.csv \
+	  -F users=@/tmp/router-smoke-corpus/users.csv "http://$(ROUTER_ADDR)/v1/datasets?format=json" \
+	  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$ID" || { echo "router-smoke: FAIL upload returned no id"; exit 1; }; \
+	curl -fsS "http://$(ROUTER_ADDR)/v1/report/growth?dataset=$$ID&models=false" > /tmp/router-smoke-routed.txt; \
+	/tmp/hfanalyze -data /tmp/router-smoke-corpus -models=false -sections growth > /tmp/router-smoke-direct.txt; \
+	diff -u /tmp/router-smoke-direct.txt /tmp/router-smoke-routed.txt || { echo "router-smoke: FAIL routed report differs from direct analysis"; exit 1; }; \
+	S1=$$(curl -fsSI "http://$(ROUTER_ADDR)/v1/report/growth?seed=1&models=false" | tr -d '\r' | awk 'tolower($$1)=="x-shard:" {print $$2}'); \
+	SHARD2=$$S1; SEED=2; \
+	while [ "$$SHARD2" = "$$S1" ] && [ $$SEED -le 32 ]; do \
+	  SHARD2=$$(curl -fsSI "http://$(ROUTER_ADDR)/v1/report/growth?seed=$$SEED&models=false" | tr -d '\r' | awk 'tolower($$1)=="x-shard:" {print $$2}'); \
+	  SEED=$$((SEED+1)); \
+	done; \
+	test -n "$$S1" -a -n "$$SHARD2" -a "$$S1" != "$$SHARD2" || { echo "router-smoke: FAIL report keys did not spread across shards (got $$S1 / $$SHARD2)"; exit 1; }; \
+	echo "router-smoke: ok (dataset on its owner, reports spread: $$S1 vs $$SHARD2)"
 
 # Serve the simulate→analyse pipeline over HTTP (see README "Serving").
 # Override flags via SERVE_FLAGS, e.g.

@@ -17,6 +17,10 @@
 // responses whose echoed id does not match (request_id_mismatches), so
 // the access-log contract is verified from the client side on every run.
 //
+// Point -target at an hfrouter instead of an hfserved and the same mix
+// exercises the sharded tier; the summary then includes the per-shard
+// response distribution (X-Shard) and hedged-response count (X-Hedged).
+//
 // Usage:
 //
 //	hfload -target http://127.0.0.1:8080 -duration 10s -rps 50
@@ -37,6 +41,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -179,6 +184,17 @@ func printSummary(rep *load.Report) {
 		rep.OverallMS.P50, rep.OverallMS.P95, rep.OverallMS.P99)
 	if rep.MissedTicks > 0 {
 		fmt.Fprintf(os.Stderr, "missed ticks: %d (target RPS exceeded sustainable rate)\n", rep.MissedTicks)
+	}
+	if len(rep.Shards) > 0 {
+		shards := make([]string, 0, len(rep.Shards))
+		for s := range rep.Shards {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		fmt.Fprintf(os.Stderr, "shard distribution (%d hedged):\n", rep.Hedged)
+		for _, s := range shards {
+			fmt.Fprintf(os.Stderr, "  %-40s %8d\n", s, rep.Shards[s])
+		}
 	}
 }
 

@@ -74,6 +74,7 @@ func main() {
 	maxScale := flag.Float64("max-scale", 1.0, "largest accepted ?scale= parameter")
 	defaultScale := flag.Float64("default-scale", 0.05, "?scale= default")
 	defaultK := flag.Int("default-k", 12, "?k= default (latent class count)")
+	shard := flag.String("shard", "", "shard name stamped on X-Shard and envelope metadata (hfrouter members: the advertised base URL)")
 	maxDatasets := flag.Int("max-datasets", 16, "uploaded datasets retained (LRU eviction beyond)")
 	maxDatasetBytes := flag.Int64("max-dataset-bytes", 256<<20, "per-upload body cap and total dataset-store bytes")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -110,6 +111,7 @@ func main() {
 		defer stopCollector()
 	}
 	srv := serve.New(serve.Options{
+		Shard:           *shard,
 		CacheSize:       *cache,
 		MaxRuns:         *maxRuns,
 		Workers:         *workers,

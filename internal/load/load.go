@@ -16,6 +16,11 @@
 // Every request carries a deterministic X-Request-Id, and the harness
 // verifies the server echoes it back — the client half of the access-log
 // request-id contract.
+//
+// The harness also works against cmd/hfrouter unchanged: the routed tier
+// speaks the same API, and the report additionally tallies the X-Shard
+// distribution (which shard answered each request) and the X-Hedged count
+// (responses the router raced a second shard for).
 package load
 
 import (
@@ -130,10 +135,16 @@ type Report struct {
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	// MissedTicks counts scheduled requests that found every worker busy
 	// — nonzero means the target RPS exceeded what client+server sustain.
-	MissedTicks         int64         `json:"missed_ticks"`
-	RequestIDMismatches int64         `json:"request_id_mismatches"`
-	OverallMS           Latency       `json:"overall_ms"`
-	Routes              []RouteReport `json:"routes"`
+	MissedTicks         int64   `json:"missed_ticks"`
+	RequestIDMismatches int64   `json:"request_id_mismatches"`
+	OverallMS           Latency `json:"overall_ms"`
+	// Shards counts responses per X-Shard header value — empty against a
+	// single unsharded hfserved, the routing distribution when the target
+	// is hfrouter. Hedged counts responses the router raced a second
+	// shard for (X-Hedged).
+	Shards map[string]int64 `json:"shards,omitempty"`
+	Hedged int64            `json:"hedged,omitempty"`
+	Routes []RouteReport    `json:"routes"`
 }
 
 // routeStats accumulates one route's counters; latencies live in the
@@ -153,10 +164,24 @@ type runner struct {
 	secSeq  atomic.Uint64 // section rotation
 	missed  atomic.Int64
 	idBad   atomic.Int64
+	hedged  atomic.Int64
+
+	shardMu sync.Mutex
+	shards  map[string]int64 // responses per X-Shard value
 
 	uploadBody []byte // prebuilt multipart body (replayed per upload)
 	uploadCT   string
 	datasetID  string
+}
+
+// sawShard tallies one response from the named shard.
+func (r *runner) sawShard(shard string) {
+	r.shardMu.Lock()
+	if r.shards == nil {
+		r.shards = make(map[string]int64)
+	}
+	r.shards[shard]++
+	r.shardMu.Unlock()
 }
 
 // WaitReady polls /healthz until the server answers 200 or the timeout
@@ -355,13 +380,15 @@ func (r *runner) setupDataset(ctx context.Context) error {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("load: seeding dataset: status %d: %s", resp.StatusCode, b)
 	}
-	var info struct {
-		ID string `json:"id"`
+	var uploaded struct {
+		Dataset struct {
+			ID string `json:"id"`
+		} `json:"dataset"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil || info.ID == "" {
+	if err := json.NewDecoder(resp.Body).Decode(&uploaded); err != nil || uploaded.Dataset.ID == "" {
 		return fmt.Errorf("load: seeding dataset: bad upload response (%v)", err)
 	}
-	r.datasetID = info.ID
+	r.datasetID = uploaded.Dataset.ID
 	return nil
 }
 
@@ -420,6 +447,12 @@ func (r *runner) do(ctx context.Context, k kind) {
 		if resp.Header.Get("X-Request-Id") != id {
 			r.idBad.Add(1)
 		}
+		if shard := resp.Header.Get("X-Shard"); shard != "" {
+			r.sawShard(shard)
+		}
+		if resp.Header.Get("X-Hedged") != "" {
+			r.hedged.Add(1)
+		}
 		switch resp.Header.Get("X-Cache") {
 		case "hit":
 			st.hits.Add(1)
@@ -461,7 +494,16 @@ func (r *runner) report(elapsed time.Duration) *Report {
 		MissedTicks:         r.missed.Load(),
 		RequestIDMismatches: r.idBad.Load(),
 		OverallMS:           latencyOf(r.reg.Histogram("load_request_seconds")),
+		Hedged:              r.hedged.Load(),
 	}
+	r.shardMu.Lock()
+	if len(r.shards) > 0 {
+		rep.Shards = make(map[string]int64, len(r.shards))
+		for s, n := range r.shards {
+			rep.Shards[s] = n
+		}
+	}
+	r.shardMu.Unlock()
 	var hits, lookups int64
 	for k, name := range routeNames {
 		st := &r.stats[k]

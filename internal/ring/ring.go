@@ -1,0 +1,165 @@
+// Package ring is the sharded serving tier behind cmd/hfrouter: a
+// consistent-hash ring over a static shard list (replicated virtual
+// nodes, health-check-driven ejection and readmission) and an HTTP
+// router that forwards /v1/* traffic to the owning shard with bounded
+// retry, hedged requests for hot report keys, and replicated dataset
+// uploads. Each report key and each dataset digest has exactly one
+// owning shard, so N shards hold N disjoint result caches and dataset
+// stores instead of N copies of one — cache capacity and cold-run
+// throughput scale with the shard count. See DESIGN.md §3.6.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// point is one virtual node: a position on the 64-bit hash circle and
+// the shard it belongs to.
+type point struct {
+	hash  uint64
+	shard int // index into Ring.shards
+}
+
+// Ring is a consistent-hash ring over a static shard membership with
+// dynamic health. Every shard contributes VNodes virtual nodes placed by
+// hashing "<shard>#<i>"; a key's owner is the first virtual node at or
+// clockwise after the key's hash whose shard is healthy. Ejecting a
+// shard does not move any other shard's points, so only the ejected
+// shard's keys are reassigned (to their clockwise successors) and
+// readmission restores exactly the original assignment — the property
+// the result caches depend on.
+type Ring struct {
+	shards []string
+	points []point // sorted by hash
+
+	mu      sync.RWMutex
+	healthy []bool
+}
+
+// hash64 places a label on the circle: the first 8 bytes of its SHA-256.
+// Uniformity matters more than speed here — points are hashed once at
+// construction and keys are short strings.
+func hash64(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over shards with vnodes virtual nodes each (<=0
+// means 128). All shards start healthy. Shard names must be non-empty
+// and unique — they are both ring labels and dial targets.
+func New(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("ring: no shards")
+	}
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("ring: empty shard name")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("ring: duplicate shard %q", s)
+		}
+		seen[s] = true
+	}
+	r := &Ring{
+		shards:  append([]string(nil), shards...),
+		points:  make([]point, 0, len(shards)*vnodes),
+		healthy: make([]bool, len(shards)),
+	}
+	for i := range r.healthy {
+		r.healthy[i] = true
+	}
+	for si, s := range r.shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", s, v)), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Shards returns the static membership in declaration order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// SetHealthy marks shard as healthy or ejected; unknown names are
+// ignored. Returns true when the state changed.
+func (r *Ring) SetHealthy(shard string, healthy bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.shards {
+		if s == shard {
+			if r.healthy[i] == healthy {
+				return false
+			}
+			r.healthy[i] = healthy
+			return true
+		}
+	}
+	return false
+}
+
+// Healthy reports whether shard is currently admitted.
+func (r *Ring) Healthy(shard string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, s := range r.shards {
+		if s == shard {
+			return r.healthy[i]
+		}
+	}
+	return false
+}
+
+// HealthyShards returns the admitted members in declaration order.
+func (r *Ring) HealthyShards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for i, s := range r.shards {
+		if r.healthy[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Owner returns the healthy shard owning key, or "" when every shard is
+// ejected.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct healthy shards for key in ring order:
+// the owner first, then the successors a retry, hedge, or replica write
+// should try next. Fewer than n are returned when fewer are healthy.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !r.healthy[p.shard] || taken[p.shard] {
+			continue
+		}
+		taken[p.shard] = true
+		out = append(out, r.shards[p.shard])
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Property tests for the consistent-hash ring: ownership balance within
+// ±20% of fair share at the default 128 vnodes, key stability under
+// ejection (only the ejected shard's keys move; nobody else's mapping
+// changes), and exact restoration on readmission — the properties the
+// per-shard result caches depend on. Plus Owners() ordering/distinctness
+// and constructor validation.
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys mints n distinct routing keys shaped like the real ones.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d-abcdef", i)
+	}
+	return out
+}
+
+func TestOwnershipBalance(t *testing.T) {
+	shards := []string{"http://s1:8101", "http://s2:8102", "http://s3:8103"}
+	r, err := New(shards, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	counts := map[string]int{}
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(n) / float64(len(shards))
+	for _, s := range shards {
+		got := float64(counts[s])
+		if got < 0.8*fair || got > 1.2*fair {
+			t.Errorf("shard %s owns %.0f keys, outside ±20%% of the fair share %.0f (counts %v)",
+				s, got, fair, counts)
+		}
+	}
+}
+
+func TestEjectionMovesOnlyEjectedKeys(t *testing.T) {
+	shards := []string{"a", "b", "c"}
+	r, err := New(shards, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(5000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	if !r.SetHealthy("b", false) {
+		t.Fatal("ejecting b reported no change")
+	}
+	moved := 0
+	for _, k := range ks {
+		owner := r.Owner(k)
+		switch before[k] {
+		case "b":
+			moved++
+			if owner == "b" || owner == "" {
+				t.Fatalf("key %s still owned by ejected shard (owner %q)", k, owner)
+			}
+		default:
+			// The stability property: ejecting b must not move a or c keys.
+			if owner != before[k] {
+				t.Fatalf("key %s moved from %s to %s although its owner stayed healthy", k, before[k], owner)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by b; the fixture is degenerate")
+	}
+
+	// Readmission restores exactly the original assignment.
+	if !r.SetHealthy("b", true) {
+		t.Fatal("readmitting b reported no change")
+	}
+	for _, k := range ks {
+		if owner := r.Owner(k); owner != before[k] {
+			t.Fatalf("after readmission key %s owned by %s, want %s", k, owner, before[k])
+		}
+	}
+}
+
+func TestOwnersDistinctAndHealthy(t *testing.T) {
+	r, err := New([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(200) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 3) = %v, want all three shards", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%s, 3) repeats %s: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%s)[0]=%s disagrees with Owner=%s", k, owners[0], r.Owner(k))
+		}
+	}
+
+	r.SetHealthy("a", false)
+	r.SetHealthy("b", false)
+	if owners := r.Owners("x", 3); len(owners) != 1 || owners[0] != "c" {
+		t.Fatalf("with only c healthy, Owners = %v", owners)
+	}
+	r.SetHealthy("c", false)
+	if owners := r.Owners("x", 3); len(owners) != 0 {
+		t.Fatalf("with no healthy shard, Owners = %v, want empty", owners)
+	}
+	if owner := r.Owner("x"); owner != "" {
+		t.Fatalf("with no healthy shard, Owner = %q, want \"\"", owner)
+	}
+	if hs := r.HealthyShards(); len(hs) != 0 {
+		t.Fatalf("HealthyShards = %v, want empty", hs)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 128); err == nil {
+		t.Fatal("empty shard list must be rejected")
+	}
+	if _, err := New([]string{"a", ""}, 128); err == nil {
+		t.Fatal("empty shard name must be rejected")
+	}
+	if _, err := New([]string{"a", "a"}, 128); err == nil {
+		t.Fatal("duplicate shard name must be rejected")
+	}
+	r, err := New([]string{"solo"}, 0) // 0 → default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != "solo" {
+		t.Fatalf("single-shard ring owner = %q", got)
+	}
+	if !r.Healthy("solo") || r.Healthy("ghost") {
+		t.Fatal("health lookups wrong on fresh ring")
+	}
+	if r.SetHealthy("ghost", false) {
+		t.Fatal("SetHealthy on unknown shard must report no change")
+	}
+}

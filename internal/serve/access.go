@@ -30,9 +30,11 @@ func randomPrefix() string {
 // maxRequestIDLen bounds accepted inbound request ids.
 const maxRequestIDLen = 64
 
-// requestID returns the id for this request: the sanitised inbound
-// X-Request-Id when present, else a fresh "<prefix>-<n>" id.
-func requestID(r *http.Request) string {
+// RequestID returns the id for this request: the sanitised inbound
+// X-Request-Id when present, else a fresh "<prefix>-<n>" id. Exported
+// for the router tier, which mints ids with the same contract before
+// propagating them shard-wards.
+func RequestID(r *http.Request) string {
 	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= maxRequestIDLen && safeRequestID(id) {
 		return id
 	}
@@ -63,11 +65,11 @@ func safeRequestID(id string) bool {
 	return true
 }
 
-// routeLabel maps a request path onto the served route pattern, bounding
+// RouteLabel maps a request path onto the served route pattern, bounding
 // the label cardinality of the per-route metrics and the access log: path
 // parameters collapse to their placeholder and unknown paths to "other",
 // so a URL-scanning client cannot mint unbounded metric series.
-func routeLabel(path string) string {
+func RouteLabel(path string) string {
 	switch {
 	case path == "/v1/report":
 		return "/v1/report"

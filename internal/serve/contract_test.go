@@ -1,0 +1,210 @@
+// Contract tests for the API v1 response envelope: every JSON error is
+// {"error":{"code","message"}} plus the uniform metadata (request_id,
+// version, shard), every text error is "error <code>: ..." with the same
+// metadata on headers, the code vocabulary is stable per endpoint, and —
+// the regression this envelope fixed — Content-Type agrees with the body
+// shape on every 4xx/5xx, including the 413 minted by the upload body
+// limiter. These are the assertions client SDKs and the router rely on;
+// breaking one is an API break, not a refactor.
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"turnup"
+	"turnup/internal/serve"
+)
+
+// contractServer is the shared fixture: a named shard with a tiny upload
+// cap (so a modest body trips the 413 limiter) and a stub runner.
+func contractServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Options{
+		Shard:           "http://shard-a.test",
+		MaxDatasetBytes: 64,
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			return tinyResults(t), nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// doReq issues one request with the given Accept header and returns the
+// response with its body read.
+func doReq(t *testing.T, method, url, contentType, accept string, body string) (*http.Response, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	req.Header.Set("X-Request-Id", "contract-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+// TestErrorEnvelopeContract pins status, code, envelope shape, and
+// Content-Type for every error path, in both negotiated formats.
+func TestErrorEnvelopeContract(t *testing.T) {
+	ts := contractServer(t)
+	oversized := strings.Repeat("x", 4096) // >64-byte MaxDatasetBytes
+
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		contentType string
+		body        string
+		wantStatus  int
+		wantCode    string
+	}{
+		{"unknown section", "GET", "/v1/report/nope", "", "", 400, serve.CodeBadParams},
+		{"bad seed", "GET", "/v1/report/growth?seed=abc", "", "", 400, serve.CodeBadParams},
+		{"bad stage", "GET", "/v1/report/growth?stages=Bogus", "", "", 400, serve.CodeBadParams},
+		{"unknown dataset report", "GET", "/v1/report/growth?dataset=ds-nope", "", "", 404, serve.CodeUnknownDataset},
+		{"unknown dataset delete", "DELETE", "/v1/datasets/ds-nope", "", "", 404, serve.CodeUnknownDataset},
+		{"oversized upload", "POST", "/v1/datasets", "application/zip", oversized, 413, serve.CodeDatasetTooLarge},
+		{"unsupported upload encoding", "POST", "/v1/datasets", "text/csv", "a,b\n", 415, serve.CodeBadParams},
+		{"junk zip upload", "POST", "/v1/datasets", "application/zip", "PKjunk", 400, serve.CodeBadParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/json", func(t *testing.T) {
+			resp, body := doReq(t, tc.method, ts.URL+tc.path, tc.contentType, "application/json", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status=%d, want %d (body %q)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type=%q, want application/json — body/header disagreement on an error path", ct)
+			}
+			if got := resp.Header.Get("X-Error-Code"); got != tc.wantCode {
+				t.Fatalf("X-Error-Code=%q, want %q", got, tc.wantCode)
+			}
+			var e serve.ErrorResponse
+			if err := json.Unmarshal([]byte(body), &e); err != nil {
+				t.Fatalf("body %q is not the v1 error envelope: %v", body, err)
+			}
+			if e.Error.Code != tc.wantCode {
+				t.Fatalf("error.code=%q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if e.Error.Message == "" {
+				t.Fatal("error.message is empty")
+			}
+			if e.RequestID != "contract-1" {
+				t.Fatalf("request_id=%q, want the inbound id contract-1", e.RequestID)
+			}
+			if e.Version == "" || e.Shard != "http://shard-a.test" {
+				t.Fatalf("metadata version=%q shard=%q incomplete", e.Version, e.Shard)
+			}
+		})
+		t.Run(tc.name+"/text", func(t *testing.T) {
+			resp, body := doReq(t, tc.method, ts.URL+tc.path, tc.contentType, "", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status=%d, want %d (body %q)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				t.Fatalf("Content-Type=%q, want text/plain", ct)
+			}
+			if !strings.HasPrefix(body, "error "+tc.wantCode+":") {
+				t.Fatalf("text error body %q does not open with %q", body, "error "+tc.wantCode+":")
+			}
+			// The text form carries the metadata on headers instead.
+			if got := resp.Header.Get("X-Error-Code"); got != tc.wantCode {
+				t.Fatalf("X-Error-Code=%q, want %q", got, tc.wantCode)
+			}
+			if resp.Header.Get("X-Request-Id") != "contract-1" || resp.Header.Get("X-Shard") != "http://shard-a.test" {
+				t.Fatalf("header metadata incomplete: id=%q shard=%q",
+					resp.Header.Get("X-Request-Id"), resp.Header.Get("X-Shard"))
+			}
+		})
+	}
+}
+
+// TestShutdownErrorCode pins the one retryable shard error: a run aborted
+// by the base (shutdown) context answers 503 with code shutting_down —
+// the signal the router's retry logic branches on.
+func TestShutdownErrorCode(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	cancel() // already shutting down
+	srv := serve.New(serve.Options{
+		BaseContext: base,
+		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			return nil, ctx.Err()
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := doReq(t, "GET", ts.URL+"/v1/report/growth", "", "application/json", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503 (body %q)", resp.StatusCode, body)
+	}
+	var e serve.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Code != serve.CodeShuttingDown {
+		t.Fatalf("body %q: want code shutting_down (%v)", body, err)
+	}
+	if !serve.RetryableCode(e.Error.Code) {
+		t.Fatal("shutting_down must be retryable")
+	}
+	if serve.RetryableCode(serve.CodeBadParams) || serve.RetryableCode(serve.CodeUnknownDataset) {
+		t.Fatal("terminal codes must not be retryable")
+	}
+}
+
+// TestSuccessMetadataContract asserts every /v1/* JSON success body
+// carries the uniform metadata and that the named-field (non-bare-array)
+// shapes hold for the registry endpoints.
+func TestSuccessMetadataContract(t *testing.T) {
+	ts := contractServer(t)
+	paths := []string{
+		"/v1/report/growth?models=false",
+		"/v1/sections",
+		"/v1/stages",
+		"/v1/datasets",
+		"/healthz",
+	}
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			resp, body := doReq(t, "GET", ts.URL+path, "", "application/json", "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status=%d (body %q)", resp.StatusCode, body)
+			}
+			var m serve.Meta
+			if err := json.Unmarshal([]byte(body), &m); err != nil {
+				t.Fatalf("body %q: %v", body, err)
+			}
+			if m.RequestID != "contract-1" || m.Version == "" || m.Shard != "http://shard-a.test" {
+				t.Fatalf("%s metadata incomplete: %+v", path, m)
+			}
+			// A JSON body must never decode as a bare array — the v1 break
+			// that moved /v1/sections and /v1/stages into objects.
+			if strings.HasPrefix(strings.TrimSpace(body), "[") {
+				t.Fatalf("%s answered a bare JSON array; v1 bodies are objects", path)
+			}
+		})
+	}
+}

@@ -27,7 +27,16 @@ type DatasetInfo struct {
 	Contracts int    `json:"contracts"`
 	Bytes     int64  `json:"bytes"`
 	Ledger    string `json:"ledger"` // "present" | "absent"
+	// Shard is set only by the router's merged listing — the shard the
+	// dataset was found on. Single-shard listings leave it empty.
+	Shard string `json:"shard,omitempty"`
 }
+
+// DatasetID derives the short stable id a dataset is stored and routed
+// under from its full content digest. The router computes it for uploads
+// so they consistent-hash to the same shard every ?dataset= report for
+// that id will route to.
+func DatasetID(digest string) string { return "ds-" + digest[:16] }
 
 // ledgerMarker renders the explicit ledger flag for d.
 func ledgerMarker(d *turnup.Dataset) string {
@@ -97,7 +106,7 @@ func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err erro
 		s.order.MoveToFront(el)
 		return el.Value.(*storeEntry).info, false, nil
 	}
-	id := "ds-" + digest[:16]
+	id := DatasetID(digest)
 	if _, ok := s.byID[id]; ok {
 		// Distinct digests sharing a 64-bit id prefix — astronomically
 		// unlikely, but refuse rather than alias.
@@ -211,14 +220,21 @@ func (s *Store) Len() int {
 	return s.order.Len()
 }
 
-// handleDatasetUpload serves POST /v1/datasets: accept the hfgen CSV pair
-// as multipart form files ("contracts", "users") or as a zip archive
-// containing contracts.csv and users.csv, parse and digest it, and store
-// it for ?dataset= report requests. Oversized bodies answer 413, parse
-// failures 400. Responses carry the listing entry; re-uploading identical
-// content answers 200 with the existing entry instead of 201.
-func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxDatasetBytes)
+// ErrUnsupportedUpload marks an upload body whose Content-Type is
+// neither multipart form data nor a zip archive.
+var ErrUnsupportedUpload = errors.New("unsupported Content-Type: want multipart/form-data or application/zip")
+
+// DecodeUpload parses a POST /v1/datasets body — the hfgen CSV pair as
+// multipart form files ("contracts", "users") or as a zip archive
+// holding contracts.csv and users.csv — into a validated Dataset,
+// bounding the body at maxBytes. It is shared with the router, which
+// must parse uploads too: ownership is by content digest, and the digest
+// only exists after a parse. Classify failures with UploadFailure.
+func DecodeUpload(w http.ResponseWriter, r *http.Request, maxBytes int64) (*turnup.Dataset, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	var d *turnup.Dataset
 	var err error
 	ct := r.Header.Get("Content-Type")
@@ -228,33 +244,63 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	case strings.Contains(ct, "zip"), ct == "", ct == "application/octet-stream":
 		d, err = readZipDataset(r.Body)
 	default:
-		s.fail(w, r, http.StatusUnsupportedMediaType,
-			fmt.Errorf("unsupported Content-Type %q: want multipart/form-data or application/zip", ct))
-		return
+		return nil, fmt.Errorf("%w (got %q)", ErrUnsupportedUpload, ct)
 	}
 	if err != nil {
-		code := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		s.fail(w, r, code, err)
-		return
+		return nil, err
 	}
 	if err := d.Validate(); err != nil {
-		s.fail(w, r, http.StatusBadRequest, err)
+		return nil, err
+	}
+	return d, nil
+}
+
+// UploadFailure maps a DecodeUpload (or Store.Add) error onto its HTTP
+// status and API v1 error code: oversized bodies are 413
+// dataset_too_large, unsupported encodings 415, and everything else —
+// malformed CSV, missing halves — 400 bad_params.
+func UploadFailure(err error) (status int, code string) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, CodeDatasetTooLarge
+	case errors.Is(err, ErrUnsupportedUpload):
+		return http.StatusUnsupportedMediaType, CodeBadParams
+	default:
+		return http.StatusBadRequest, CodeBadParams
+	}
+}
+
+// uploadResponse is the JSON body of POST /v1/datasets: the stored
+// listing entry inside the uniform v1 envelope. 201 means the dataset
+// was new; 200 means identical content was already stored.
+type uploadResponse struct {
+	Meta
+	Dataset DatasetInfo `json:"dataset"`
+}
+
+// handleDatasetUpload serves POST /v1/datasets: decode, digest, and
+// store the corpus for ?dataset= report requests. Oversized bodies
+// answer 413 dataset_too_large, parse failures 400 bad_params;
+// re-uploading identical content answers 200 with the existing entry
+// instead of 201.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	d, err := DecodeUpload(w, r, s.opts.MaxDatasetBytes)
+	if err != nil {
+		status, code := UploadFailure(err)
+		s.fail(w, r, status, code, err)
 		return
 	}
 	info, created, err := s.datasets.Add(d)
 	if err != nil {
-		s.fail(w, r, http.StatusRequestEntityTooLarge, err)
+		s.fail(w, r, http.StatusRequestEntityTooLarge, CodeDatasetTooLarge, err)
 		return
 	}
 	code := http.StatusOK
 	if created {
 		code = http.StatusCreated
 	}
-	s.writeJSON(w, code, info)
+	writeJSON(w, code, uploadResponse{Meta: s.meta(r), Dataset: info})
 }
 
 // readMultipartDataset pulls the CSV pair out of a multipart form. The
@@ -338,11 +384,19 @@ func readPair(contracts, users []byte) (*turnup.Dataset, error) {
 	return turnup.ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
 }
 
+// datasetsResponse is the JSON body of GET /v1/datasets — a named field
+// inside the v1 envelope rather than a bare array, so the listing can
+// grow (per-shard attribution, totals) without breaking clients.
+type datasetsResponse struct {
+	Meta
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
 // handleDatasetList serves GET /v1/datasets.
 func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	infos := s.datasets.List()
 	if wantJSON(r) {
-		s.writeJSON(w, http.StatusOK, infos)
+		writeJSON(w, http.StatusOK, datasetsResponse{Meta: s.meta(r), Datasets: infos})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -356,7 +410,7 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.datasets.Delete(id) {
-		s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		s.fail(w, r, http.StatusNotFound, CodeUnknownDataset, fmt.Errorf("unknown dataset %q", id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

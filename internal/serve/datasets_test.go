@@ -78,7 +78,7 @@ func multipartBody(t testing.TB, parts map[string][]byte) (string, *bytes.Buffer
 	return mw.FormDataContentType(), &body
 }
 
-// upload POSTs a dataset and decodes the DatasetInfo response.
+// upload POSTs a dataset and decodes the enveloped DatasetInfo response.
 func upload(t *testing.T, baseURL string, contracts, users []byte) (int, serve.DatasetInfo) {
 	t.Helper()
 	ct, body := multipartBody(t, map[string][]byte{"contracts": contracts, "users": users})
@@ -91,13 +91,19 @@ func upload(t *testing.T, baseURL string, contracts, users []byte) (int, serve.D
 	if err != nil {
 		t.Fatal(err)
 	}
-	var info serve.DatasetInfo
+	var out struct {
+		RequestID string            `json:"request_id"`
+		Dataset   serve.DatasetInfo `json:"dataset"`
+	}
 	if resp.StatusCode < 300 {
-		if err := json.Unmarshal(raw, &info); err != nil {
+		if err := json.Unmarshal(raw, &out); err != nil {
 			t.Fatalf("decoding upload response %q: %v", raw, err)
 		}
+		if out.RequestID == "" {
+			t.Fatalf("upload response %q is missing envelope request_id", raw)
+		}
 	}
-	return resp.StatusCode, info
+	return resp.StatusCode, out.Dataset
 }
 
 // TestDatasetUploadReportEndToEnd is the acceptance path: hfgen-format
@@ -164,13 +170,16 @@ func TestDatasetUploadReportEndToEnd(t *testing.T) {
 		t.Fatalf("repeat dataset report: code=%d cache=%q, want 200 hit", code2, cache)
 	}
 
-	// The listing carries the stored entry with its explicit ledger marker.
-	var list []serve.DatasetInfo
-	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/datasets?format=json")), &list); err != nil {
+	// The listing carries the stored entry (under the enveloped "datasets"
+	// key) with its explicit ledger marker.
+	var listed struct {
+		Datasets []serve.DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/datasets?format=json")), &listed); err != nil {
 		t.Fatal(err)
 	}
-	if len(list) != 1 || list[0].ID != info.ID || list[0].Ledger != "absent" {
-		t.Fatalf("dataset list = %+v", list)
+	if list := listed.Datasets; len(list) != 1 || list[0].ID != info.ID || list[0].Ledger != "absent" {
+		t.Fatalf("dataset list = %+v", listed.Datasets)
 	}
 	if metrics := mustGet(t, ts.URL+"/metrics"); !strings.Contains(metrics, "serve_datasets_uploads_total 1") {
 		t.Fatalf("/metrics missing upload counter:\n%s", metrics)
@@ -206,16 +215,18 @@ func TestDatasetZipUpload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var info serve.DatasetInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	var out struct {
+		Dataset serve.DatasetInfo `json:"dataset"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("zip upload code=%d, want 201", resp.StatusCode)
 	}
 	wantDigest, _ := d.Digest()
-	if info.Digest != wantDigest {
-		t.Fatalf("zip upload digest=%s, want %s (same content, same digest)", info.Digest, wantDigest)
+	if out.Dataset.Digest != wantDigest {
+		t.Fatalf("zip upload digest=%s, want %s (same content, same digest)", out.Dataset.Digest, wantDigest)
 	}
 }
 

@@ -1,0 +1,137 @@
+// API v1 response contract: every JSON body — success or error — carries
+// uniform metadata (request_id, version, shard), and every error carries a
+// stable machine-readable code alongside its human message. The codes are
+// the router's retry vocabulary: a consistent-hash router in front of N
+// shards must distinguish "this shard is draining, try its neighbour"
+// (shutting_down, shard_unavailable) from "this request can never succeed
+// anywhere" (bad_params, unknown_dataset, dataset_too_large) without
+// string-matching error prose. Text-form responses carry the same
+// metadata on headers instead (X-Request-Id, X-Shard, X-Error-Code).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"turnup/internal/version"
+)
+
+// Stable machine-readable error codes, the API v1 error vocabulary.
+// Clients and the router branch on these, never on Message text.
+const (
+	// CodeBadParams — the request can never succeed as written: unknown
+	// section/stage names, unparseable or out-of-range parameters,
+	// malformed upload bodies or encodings. Terminal; do not retry.
+	CodeBadParams = "bad_params"
+	// CodeUnknownDataset — the named dataset id is not stored here
+	// (never uploaded, deleted, or evicted). Terminal on this shard.
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeDatasetTooLarge — the upload exceeds the body or store bound.
+	// Terminal; a bigger -max-dataset-bytes is an operator decision.
+	CodeDatasetTooLarge = "dataset_too_large"
+	// CodeShuttingDown — the shard is draining; in-flight runs were
+	// cancelled. Retryable on another shard.
+	CodeShuttingDown = "shutting_down"
+	// CodeShardUnavailable — the router could not reach any owning shard
+	// (connection errors exhausted the retry budget, or every candidate
+	// is ejected). Retryable later.
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeInternal — an unexpected server fault. Possibly transient.
+	CodeInternal = "internal"
+)
+
+// RetryableCode reports whether an error code marks a failure another
+// shard (or a later attempt) could resolve — the router's retry test.
+func RetryableCode(code string) bool {
+	return code == CodeShuttingDown || code == CodeShardUnavailable
+}
+
+// Meta is the uniform response metadata every /v1/* JSON body embeds:
+// the request id (joins the response to its access-log line and span),
+// the build version that produced it, and — when the server is part of
+// a sharded tier — the shard that answered.
+type Meta struct {
+	RequestID string `json:"request_id"`
+	Version   string `json:"version"`
+	Shard     string `json:"shard,omitempty"`
+}
+
+// ErrorBody is the inner object of the API v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the API v1 error envelope:
+//
+//	{"error":{"code":"bad_params","message":"…"},"request_id":"…","version":"…"}
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+	Meta
+}
+
+// ridKey carries the request id through the request context from the
+// ServeHTTP middleware to the handlers that stamp it into envelopes.
+type ridKey struct{}
+
+// RequestWithID returns r with id attached to its context — the
+// middleware side of RequestIDFromContext, exported for the router tier.
+func RequestWithID(r *http.Request, id string) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+}
+
+// RequestIDFromContext returns the request id the middleware assigned, or
+// "" outside a served request — exported so the router's handlers can
+// share the same envelope helpers.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// meta assembles the uniform metadata for the request being served.
+func (s *Server) meta(r *http.Request) Meta {
+	return Meta{
+		RequestID: RequestIDFromContext(r.Context()),
+		Version:   version.String(),
+		Shard:     s.opts.Shard,
+	}
+}
+
+// fail writes the API v1 error envelope in the request's negotiated
+// format. JSON requests get the structured envelope with a guaranteed
+// application/json Content-Type (the pre-envelope split lost it on some
+// 4xx paths); text requests get "error <code>: <message>" plain text.
+// Both forms carry the code on the X-Error-Code header so a proxy can
+// classify the failure without reading the body.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	WriteError(w, r, status, code, err.Error(), s.meta(r))
+}
+
+// WriteError writes the API v1 error envelope — shared by the serve
+// handlers and the router, so both tiers speak one error contract.
+func WriteError(w http.ResponseWriter, r *http.Request, status int, code, message string, m Meta) {
+	w.Header().Set("X-Error-Code", code)
+	if wantJSON(r) {
+		writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: message}, Meta: m})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "error %s: %s\n", code, message)
+}
+
+// writeJSON writes v as the response body with the given status code. The
+// header is set before WriteHeader — the order mistakes on pre-envelope
+// error paths are what let a 4xx body go out as text/plain.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteJSON is writeJSON for the router tier: same Content-Type-before-
+// WriteHeader discipline for bodies the router renders itself.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }

@@ -253,14 +253,17 @@ func TestBadParamsReturn400(t *testing.T) {
 			t.Errorf("%s: body %q missing %q", tc.url, body, tc.want)
 		}
 	}
-	// JSON errors for JSON requests.
+	// JSON errors for JSON requests, in the structured v1 envelope.
 	code, _, body := get(t, ts.URL+"/v1/report/nope?format=json")
 	if code != http.StatusBadRequest {
 		t.Fatalf("json error: code=%d", code)
 	}
-	var e map[string]string
-	if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
-		t.Fatalf("json error body %q not an {error} object (%v)", body, err)
+	var e serve.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Message == "" {
+		t.Fatalf("json error body %q not an {error:{code,message}} envelope (%v)", body, err)
+	}
+	if e.Error.Code != serve.CodeBadParams {
+		t.Fatalf("json error code %q, want %q", e.Error.Code, serve.CodeBadParams)
 	}
 }
 
@@ -304,23 +307,27 @@ func TestRegistryEndpoints(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	var sections []string
-	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/sections?format=json")), &sections); err != nil {
+	var sectionBody struct {
+		Sections []string `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/sections?format=json")), &sectionBody); err != nil {
 		t.Fatal(err)
 	}
-	if len(sections) == 0 || sections[0] != "taxonomy" {
+	if sections := sectionBody.Sections; len(sections) == 0 || sections[0] != "taxonomy" {
 		t.Fatalf("sections = %v", sections)
 	}
-	var stages []struct {
-		Name  string   `json:"name"`
-		Deps  []string `json:"deps"`
-		Model bool     `json:"model"`
+	var stageBody struct {
+		Stages []struct {
+			Name  string   `json:"name"`
+			Deps  []string `json:"deps"`
+			Model bool     `json:"model"`
+		} `json:"stages"`
 	}
-	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/stages?format=json")), &stages); err != nil {
+	if err := json.Unmarshal([]byte(mustGet(t, ts.URL+"/v1/stages?format=json")), &stageBody); err != nil {
 		t.Fatal(err)
 	}
 	byName := map[string]bool{}
-	for _, st := range stages {
+	for _, st := range stageBody.Stages {
 		byName[st.Name] = true
 	}
 	if !byName["Taxonomy"] || !byName["ZIPAll"] {

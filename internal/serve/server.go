@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -27,6 +26,13 @@ type Options struct {
 	MaxScale     float64 // largest accepted ?scale= (default 1.0, the paper-sized corpus)
 	DefaultScale float64 // ?scale= default (default 0.05)
 	DefaultK     int     // ?k= default (default 12, the paper's choice)
+
+	// Shard names this process within a sharded tier (hfserved -shard,
+	// conventionally its advertised base URL). It is stamped on the
+	// X-Shard response header and the JSON envelope's shard field so a
+	// router — and the load harness behind it — can attribute every
+	// response to the process that produced it. Empty means unsharded.
+	Shard string
 
 	// MaxDatasets bounds how many uploaded datasets the store retains
 	// (default 16); beyond it the least-recently-used dataset is evicted.
@@ -167,7 +173,7 @@ func (s *Server) Datasets() *Store { return s.datasets }
 // which is what hfload's client-side view is cross-checked against),
 // and an error counter for 4xx/5xx.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := requestID(r)
+	id := RequestID(r)
 	s.reg.Counter("serve_http_requests_total").Inc()
 	s.reg.Gauge("serve_http_inflight").Add(1)
 	var sp *obs.Span
@@ -177,10 +183,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	rw.Header().Set("X-Request-Id", id)
+	if s.opts.Shard != "" {
+		rw.Header().Set("X-Shard", s.opts.Shard)
+		// Owner check: the router stamps the shard it believes owns the
+		// key; a mismatch means the tiers disagree about the ring (stale
+		// membership, mismatched defaults) and is worth counting even
+		// though any shard can serve any request correctly.
+		if want := r.Header.Get("X-Expected-Shard"); want != "" && want != s.opts.Shard {
+			s.reg.Counter("serve_shard_misroutes_total").Inc()
+		}
+	}
 	start := time.Now()
-	s.mux.ServeHTTP(rw, r)
+	s.mux.ServeHTTP(rw, RequestWithID(r, id))
 	dur := time.Since(start)
-	route := routeLabel(r.URL.Path)
+	route := RouteLabel(r.URL.Path)
 	s.reg.Histogram("serve_http_seconds").Observe(dur.Seconds())
 	s.reg.Histogram(fmt.Sprintf(`serve_http_request_seconds{route=%q,status="%d"}`, route, rw.code)).Observe(dur.Seconds())
 	s.reg.Gauge("serve_http_inflight").Add(-1)
@@ -209,6 +225,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // reportResponse is the JSON body of /v1/report.
 type reportResponse struct {
+	Meta
 	Params   Params   `json:"params"`
 	Sections []string `json:"sections,omitempty"` // empty = full report
 	Cache    Status   `json:"cache"`
@@ -227,12 +244,12 @@ type reportResponse struct {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sections := splitList(r.PathValue("section"))
 	if err := turnup.ValidateSections(sections...); err != nil {
-		s.fail(w, r, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadParams, err)
 		return
 	}
 	p, err := s.parseParams(r)
 	if err != nil {
-		s.fail(w, r, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadParams, err)
 		return
 	}
 	if len(p.Stages) == 0 && len(sections) > 0 {
@@ -244,7 +261,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// matching what an unconstrained request computes.
 		stages, err := turnup.SectionStages(sections...)
 		if err != nil { // unreachable: names validated above
-			s.fail(w, r, http.StatusBadRequest, err)
+			s.fail(w, r, http.StatusBadRequest, CodeBadParams, err)
 			return
 		}
 		if !p.Models {
@@ -263,13 +280,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	var ledger string
 	if id := r.URL.Query().Get("dataset"); id != "" {
 		if r.URL.Query().Get("scale") != "" {
-			s.fail(w, r, http.StatusBadRequest,
+			s.fail(w, r, http.StatusBadRequest, CodeBadParams,
 				errors.New("scale cannot be combined with dataset: uploaded corpora are fixed, scale only parameterises generation"))
 			return
 		}
 		info, ok := s.datasets.Info(id)
 		if !ok {
-			s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q (see GET /v1/datasets)", id))
+			s.fail(w, r, http.StatusNotFound, CodeUnknownDataset, fmt.Errorf("unknown dataset %q (see GET /v1/datasets)", id))
 			return
 		}
 		p.Dataset = info.Digest
@@ -282,19 +299,20 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	res, status, err := s.cache.Get(r.Context(), p)
 	if err != nil {
 		// Cancellation means shutdown (base context) or a vanished client
-		// (request context); neither is a server fault.
-		code := http.StatusInternalServerError
+		// (request context); neither is a server fault — and it is the
+		// one failure a router should retry on a sibling shard.
+		code, apiCode := http.StatusInternalServerError, CodeInternal
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			code = http.StatusServiceUnavailable
+			code, apiCode = http.StatusServiceUnavailable, CodeShuttingDown
 		}
-		s.fail(w, r, code, err)
+		s.fail(w, r, code, apiCode, err)
 		return
 	}
 	w.Header().Set("X-Cache", string(status))
 	if wantJSON(r) {
 		var b strings.Builder
 		_ = turnup.Render(&b, res, sections...) // names validated above; Builder writes cannot fail
-		s.writeJSON(w, http.StatusOK, reportResponse{Params: p.Canon(), Sections: sections, Cache: status, Ledger: ledger, Report: b.String()})
+		writeJSON(w, http.StatusOK, reportResponse{Meta: s.meta(r), Params: p.Canon(), Sections: sections, Cache: status, Ledger: ledger, Report: b.String()})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -353,30 +371,47 @@ func (s *Server) parseParams(r *http.Request) (Params, error) {
 	return p, nil
 }
 
+// sectionsResponse is the JSON body of /v1/sections. The list lives in a
+// named field (not a bare top-level array) so the contract can grow —
+// adding metadata or per-section detail stays backward compatible.
+type sectionsResponse struct {
+	Meta
+	Sections []string `json:"sections"`
+}
+
 // handleSections serves the report-section vocabulary.
 func (s *Server) handleSections(w http.ResponseWriter, r *http.Request) {
 	if wantJSON(r) {
-		s.writeJSON(w, http.StatusOK, turnup.Sections())
+		writeJSON(w, http.StatusOK, sectionsResponse{Meta: s.meta(r), Sections: turnup.Sections()})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, strings.Join(turnup.Sections(), "\n"))
 }
 
+// stageJSON is one stage row of /v1/stages.
+type stageJSON struct {
+	Name  string   `json:"name"`
+	Deps  []string `json:"deps,omitempty"`
+	Model bool     `json:"model,omitempty"`
+}
+
+// stagesResponse is the JSON body of /v1/stages — an object, like every
+// other v1 envelope, not a bare array.
+type stagesResponse struct {
+	Meta
+	Stages []stageJSON `json:"stages"`
+}
+
 // handleStages serves the analysis stage DAG (name, deps, model tier).
 func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
-	type stageJSON struct {
-		Name  string   `json:"name"`
-		Deps  []string `json:"deps,omitempty"`
-		Model bool     `json:"model,omitempty"`
-	}
 	stages := turnup.Stages()
 	if wantJSON(r) {
 		out := make([]stageJSON, len(stages))
 		for i, st := range stages {
 			out[i] = stageJSON{Name: st.Name, Deps: st.Deps, Model: st.Model}
 		}
-		s.writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, stagesResponse{Meta: s.meta(r), Stages: out})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -385,10 +420,11 @@ func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthResponse is the JSON body of /healthz?format=json.
+// healthResponse is the JSON body of /healthz?format=json. Meta supplies
+// the version (and shard, when sharded) alongside the request id.
 type healthResponse struct {
-	Status        string  `json:"status"`
-	Version       string  `json:"version"`
+	Status string `json:"status"`
+	Meta
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Cached        int     `json:"cached"`
 	Datasets      int     `json:"datasets"`
@@ -399,9 +435,9 @@ type healthResponse struct {
 // — as text by default, as JSON under ?format=json or Accept.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if wantJSON(r) {
-		s.writeJSON(w, http.StatusOK, healthResponse{
+		writeJSON(w, http.StatusOK, healthResponse{
 			Status:        "ok",
-			Version:       version.String(),
+			Meta:          s.meta(r),
 			UptimeSeconds: time.Since(s.start).Seconds(),
 			Cached:        s.cache.Len(),
 			Datasets:      s.datasets.Len(),
@@ -413,20 +449,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		version.String(), time.Since(s.start).Round(time.Second), s.cache.Len(), s.datasets.Len())
 }
 
-// fail writes an error response in the request's preferred format.
-func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, err error) {
-	if wantJSON(r) {
-		s.writeJSON(w, code, map[string]string{"error": err.Error()})
-		return
+// RouteKey derives the consistent-hash routing token for a report
+// request, shared with the router tier so routing and caching agree:
+// dataset-backed reports route by their dataset id (the same token
+// uploads route by, so a report always lands where its dataset lives),
+// and generated reports route by the canonical Params cache key. Parse
+// failures fall back to defaults — the owning shard will answer the 400;
+// the router only needs the mapping to be deterministic.
+func RouteKey(r *http.Request, defaultScale float64, defaultK int) string {
+	q := r.URL.Query()
+	if id := q.Get("dataset"); id != "" {
+		return id
 	}
-	http.Error(w, err.Error(), code)
-}
-
-// writeJSON writes v as the response body with the given status code.
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	p := Params{Seed: 1, Scale: defaultScale, K: defaultK, Models: true}
+	if n, err := strconv.ParseUint(q.Get("seed"), 10, 64); err == nil {
+		p.Seed = n
+	}
+	if f, err := strconv.ParseFloat(q.Get("scale"), 64); err == nil {
+		p.Scale = f
+	}
+	if n, err := strconv.Atoi(q.Get("k")); err == nil {
+		p.K = n
+	}
+	if b, err := strconv.ParseBool(q.Get("models")); err == nil {
+		p.Models = b
+	}
+	p.Stages = splitList(q.Get("stages"))
+	return p.Canon().Key()
 }
 
 // wantJSON decides the response format: ?format= wins (json or text),
