@@ -10,10 +10,11 @@
 #   make bench-load      # hfload run against a booted hfserved → BENCH_serve_load.json
 #   make bench-load-router # hfload run through hfrouter over 2 shards → BENCH_router_load.json
 #   make router-smoke    # boot 2 shards + hfrouter, verify routing end to end
+#   make ingest-smoke    # upload a truncated corpus, stream the rest via events, diff vs hfanalyze
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load bench-load-router router-smoke serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load bench-load-router router-smoke ingest-smoke serve
 
 # Benchmarks that claim parallel speedups must run at full machine width;
 # an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
@@ -175,6 +176,43 @@ router-smoke:
 	done; \
 	test -n "$$S1" -a -n "$$SHARD2" -a "$$S1" != "$$SHARD2" || { echo "router-smoke: FAIL report keys did not spread across shards (got $$S1 / $$SHARD2)"; exit 1; }; \
 	echo "router-smoke: ok (dataset on its owner, reports spread: $$S1 vs $$SHARD2)"
+
+# Live-ingest smoke: generate a corpus, upload only the first half of its
+# contracts, stream the remainder back through POST /v1/datasets/{id}/events
+# as CSV rows, and require the generation-2 report to match hfanalyze over
+# the complete corpus byte for byte — the end-to-end proof that appends,
+# the incremental index, and generation-keyed caching compose correctly.
+# See .github/workflows/ci.yml (ingest-smoke).
+INGEST_ADDR ?= 127.0.0.1:8099
+ingest-smoke:
+	go build $(LDFLAGS) -o /tmp/hfserved ./cmd/hfserved
+	go build $(LDFLAGS) -o /tmp/hfgen ./cmd/hfgen
+	go build $(LDFLAGS) -o /tmp/hfanalyze ./cmd/hfanalyze
+	@set -e; \
+	/tmp/hfgen -scale 0.01 -seed 42 -out /tmp/ingest-smoke-corpus; \
+	TOTAL=$$(wc -l < /tmp/ingest-smoke-corpus/contracts.csv); \
+	HALF=$$(( TOTAL / 2 )); \
+	head -n $$HALF /tmp/ingest-smoke-corpus/contracts.csv > /tmp/ingest-smoke-head.csv; \
+	{ head -n 1 /tmp/ingest-smoke-corpus/contracts.csv; \
+	  tail -n +$$(( HALF + 1 )) /tmp/ingest-smoke-corpus/contracts.csv; } > /tmp/ingest-smoke-rest.csv; \
+	/tmp/hfserved -addr $(INGEST_ADDR) -max-scale 0.05 -log-format none & S=$$!; \
+	trap "kill -TERM $$S 2>/dev/null; wait $$S 2>/dev/null" EXIT; \
+	for i in $$(seq 1 100); do \
+	  curl -fsS http://$(INGEST_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	ID=$$(curl -fsS -F contracts=@/tmp/ingest-smoke-head.csv \
+	  -F users=@/tmp/ingest-smoke-corpus/users.csv "http://$(INGEST_ADDR)/v1/datasets?format=json" \
+	  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$ID" || { echo "ingest-smoke: FAIL upload returned no id"; exit 1; }; \
+	GEN=$$(curl -fsS -D - -o /dev/null -H "Content-Type: text/csv" \
+	  --data-binary @/tmp/ingest-smoke-rest.csv "http://$(INGEST_ADDR)/v1/datasets/$$ID/events" \
+	  | tr -d '\r' | awk 'tolower($$1)=="x-dataset-generation:" {print $$2}'); \
+	test "$$GEN" = "2" || { echo "ingest-smoke: FAIL append generation=$$GEN, want 2"; exit 1; }; \
+	curl -fsS "http://$(INGEST_ADDR)/v1/report?dataset=$$ID&seed=1&models=false" > /tmp/ingest-smoke-served.txt; \
+	/tmp/hfanalyze -data /tmp/ingest-smoke-corpus -seed 1 -models=false > /tmp/ingest-smoke-direct.txt; \
+	diff -u /tmp/ingest-smoke-direct.txt /tmp/ingest-smoke-served.txt \
+	  || { echo "ingest-smoke: FAIL ingested report differs from direct analysis"; exit 1; }; \
+	echo "ingest-smoke: ok (generation-2 report matches hfanalyze over the full corpus)"
 
 # Serve the simulate→analyse pipeline over HTTP (see README "Serving").
 # Override flags via SERVE_FLAGS, e.g.

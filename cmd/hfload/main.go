@@ -12,6 +12,8 @@
 //	section  per-section partial runs cycling -sections
 //	upload   POST /v1/datasets replaying a pre-generated CSV pair
 //	dataset  reports over the uploaded dataset (?dataset=)
+//	events   POST /v1/datasets/{id}/events JSON-lines appends, each
+//	         followed by a windowed report (?window=30d)
 //
 // Every request carries a deterministic X-Request-Id; the report counts
 // responses whose echoed id does not match (request_id_mismatches), so
@@ -24,7 +26,7 @@
 // Usage:
 //
 //	hfload -target http://127.0.0.1:8080 -duration 10s -rps 50
-//	hfload -mix hot=6,cold=1,section=2,upload=1,dataset=2 -seed 1
+//	hfload -mix hot=6,cold=1,section=2,upload=1,dataset=2,events=1 -seed 1
 //	hfload -out BENCH_serve_load.json -wait 30s
 //	hfload -gate BENCH_serve_load.json -gate-factor 2   # CI regression gate
 //	hfload -slo-p99 500ms                               # absolute SLO gate
@@ -59,7 +61,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to issue requests")
 	rps := flag.Float64("rps", 50, "target requests per second")
 	workers := flag.Int("workers", 8, "concurrent request executors")
-	mixFlag := flag.String("mix", "hot=6,cold=1,section=2,upload=1,dataset=2", "request mix weights")
+	mixFlag := flag.String("mix", "hot=6,cold=1,section=2,upload=1,dataset=2,events=1", "request mix weights")
 	seed := flag.Uint64("seed", 1, "mix-sequence and report-parameter seed")
 	scale := flag.Float64("scale", 0.02, "?scale= for report requests")
 	uploadScale := flag.Float64("upload-scale", 0.01, "scale of the generated upload corpus")
@@ -222,11 +224,13 @@ func parseMix(s string) (load.Mix, error) {
 			m.Upload = w
 		case "dataset":
 			m.Dataset = w
+		case "events":
+			m.Events = w
 		default:
-			return m, fmt.Errorf("unknown mix kind %q (want hot, cold, section, upload, dataset)", k)
+			return m, fmt.Errorf("unknown mix kind %q (want hot, cold, section, upload, dataset, events)", k)
 		}
 	}
-	if m.Hot+m.Cold+m.Section+m.Upload+m.Dataset == 0 {
+	if m.Hot+m.Cold+m.Section+m.Upload+m.Dataset+m.Events == 0 {
 		return m, fmt.Errorf("mix %q has no positive weights", s)
 	}
 	return m, nil

@@ -8,6 +8,8 @@
 //	GET    /v1/report*         by the canonical parameter key (?dataset= by id)
 //	POST   /v1/datasets        parsed, digested, forwarded to the digest's
 //	                           owner plus -rf minus 1 ring successors
+//	POST   /v1/datasets/{id}/events  by dataset id to the owner (replicas
+//	                           receive the same batch so generations stay in step)
 //	GET    /v1/datasets        scatter-gather union across healthy shards
 //	DELETE /v1/datasets/{id}   to every shard that could hold a copy
 //	GET    /v1/sections|stages any healthy shard (identical everywhere)

@@ -8,9 +8,10 @@
 //
 //	GET    /v1/report               full report (all sections)
 //	GET    /v1/report/{section}     one or more (comma-separated) sections
-//	       ?seed= &scale= &k= &models= &stages= &dataset= &format=text|json
+//	       ?seed= &scale= &k= &models= &stages= &dataset= &window= &as-of= &format=text|json
 //	POST   /v1/datasets             upload an hfgen CSV pair (multipart or zip)
-//	GET    /v1/datasets             list stored datasets (id, digest, counts, ledger)
+//	POST   /v1/datasets/{id}/events append an event batch (JSON lines or contract CSV)
+//	GET    /v1/datasets             list stored datasets (id, digest, generation, counts, ledger)
 //	DELETE /v1/datasets/{id}        drop a stored dataset
 //	GET    /v1/sections             report-section vocabulary
 //	GET    /v1/stages               analysis stage DAG (name, deps, model)
@@ -22,6 +23,13 @@
 // analyse the stored dataset; uploaded corpora carry no ledger, so those
 // responses set X-Dataset-Ledger: absent and the §4.5 audit reports its
 // high-value contracts as unverifiable.
+//
+// Uploaded datasets are live: POST /v1/datasets/{id}/events appends a
+// validated batch of user/contract events, bumping the dataset's
+// generation (X-Dataset-Generation on reports) and invalidating exactly
+// the cached reports the append supersedes. ?window=30d|90d|era-to-date
+// and ?as-of=YYYY-MM-DD select a time-windowed view of a dataset-backed
+// report; -cache-ttl adds an age bound on top of generation keying.
 //
 // Every request is assigned a request id (an inbound X-Request-Id is
 // honoured), echoed on the X-Request-Id response header, stamped on the
@@ -69,6 +77,7 @@ func main() {
 	log.SetPrefix("hfserved: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 64, "completed results retained in the LRU")
+	cacheTTL := flag.Duration("cache-ttl", 0, "max age a cached result is served (0 = no age bound; generation keying still invalidates on append)")
 	maxRuns := flag.Int("max-runs", 2, "concurrent pipeline runs (cache hits bypass this cap)")
 	workers := flag.Int("workers", 0, "concurrent analysis stages per run (0 = GOMAXPROCS)")
 	maxScale := flag.Float64("max-scale", 1.0, "largest accepted ?scale= parameter")
@@ -113,6 +122,7 @@ func main() {
 	srv := serve.New(serve.Options{
 		Shard:           *shard,
 		CacheSize:       *cache,
+		CacheTTL:        *cacheTTL,
 		MaxRuns:         *maxRuns,
 		Workers:         *workers,
 		MaxScale:        *maxScale,

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"sync"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// MaxCreated returns the latest contract creation time in the corpus
+// (zero when empty) — the watermark Append's in-order check compares new
+// events against.
+func (ix *Index) MaxCreated() time.Time {
+	ix.maxOnce.Do(func() {
+		for _, c := range ix.D.Contracts {
+			if c.Created.After(ix.maxCreated) {
+				ix.maxCreated = c.Created
+			}
+		}
+	})
+	return ix.maxCreated
+}
+
+// Append derives the Index for nd — the parent corpus extended by the
+// added contracts, in that order — incrementally: every derived group is
+// extended in place of being rebuilt, and only the new completed-public
+// obligation text goes through the classifier. nd must be ix.D plus added
+// (ingest.Apply's contract): the builders' corpus-order iteration then
+// makes the result structurally identical to NewIndex(nd) built from
+// scratch, which the golden incremental test pins report-byte-for-byte.
+//
+// The in-order fast path requires every added contract to be created at
+// or after the parent's creation watermark; an out-of-order append has
+// dirtied history (month buckets, era membership, first-era-of-use are no
+// longer suffix-extensions), so Append falls back to a full rebuild.
+//
+// The parent Index is never mutated: array-of-slice groups are copied by
+// value, bucket extensions use capped appends (the parent's backing
+// arrays cannot be written through), and maps are shallow-cloned before
+// new keys land. Suite runs holding the parent keep reading consistent
+// data.
+func (ix *Index) Append(nd *dataset.Dataset, added []*forum.Contract) *Index {
+	watermark := ix.MaxCreated()
+	for _, c := range added {
+		if c.Created.Before(watermark) {
+			return NewIndex(nd) // out-of-order: history dirtied, rebuild
+		}
+	}
+
+	// Force-build every parent group so the child can extend rather than
+	// re-derive. After the first append these are no-ops: the previous
+	// child was born with all groups built.
+	ix.buildMonths()
+	ix.buildSubsets()
+	ix.InEra(dataset.EraSetup)
+	ix.buildUsers()
+	ix.buildObligations()
+	ix.MoneyContracts()
+
+	child := &Index{D: nd}
+
+	// Months: value-copy the bucket arrays, then cap each touched bucket
+	// before appending so the parent's backing array is never written.
+	child.byMonth = ix.byMonth
+	child.completedByMonth = ix.completedByMonth
+	for _, c := range added {
+		m := dataset.MonthOf(c.Created)
+		child.byMonth[m] = appendCopy(child.byMonth[m], c)
+		if c.IsComplete() {
+			at := c.Completed
+			if at.IsZero() {
+				at = c.Created
+			}
+			cm := dataset.MonthOf(at)
+			child.completedByMonth[cm] = appendCopy(child.completedByMonth[cm], c)
+		}
+	}
+
+	// Subsets: suffix-extend in corpus order.
+	child.completed = ix.completed
+	child.public = ix.public
+	child.completedPublic = ix.completedPublic
+	for _, c := range added {
+		done := c.IsComplete()
+		if done {
+			child.completed = appendCopy(child.completed, c)
+		}
+		if c.Public {
+			child.public = appendCopy(child.public, c)
+			if done {
+				child.completedPublic = appendCopy(child.completedPublic, c)
+			}
+		}
+	}
+
+	// Eras.
+	child.inEra = ix.inEra
+	for _, c := range added {
+		e := dataset.EraOf(c.Created)
+		child.inEra[e] = appendCopy(child.inEra[e], c)
+	}
+
+	// Per-user groupings: clone the maps, extend touched users' lists.
+	child.userContracts = make(map[forum.UserID][]*forum.Contract, len(ix.userContracts)+2*len(added))
+	for u, cs := range ix.userContracts {
+		child.userContracts[u] = cs
+	}
+	child.firstEra = make(map[forum.UserID]dataset.Era, len(ix.firstEra)+2*len(added))
+	for u, e := range ix.firstEra {
+		child.firstEra[u] = e
+	}
+	for _, c := range added {
+		child.userContracts[c.Maker] = appendCopy(child.userContracts[c.Maker], c)
+		if c.Taker != c.Maker {
+			child.userContracts[c.Taker] = appendCopy(child.userContracts[c.Taker], c)
+		}
+		e := dataset.EraOf(c.Created)
+		for _, u := range []forum.UserID{c.Maker, c.Taker} {
+			if prev, ok := child.firstEra[u]; !ok || e < prev {
+				child.firstEra[u] = e
+			}
+		}
+	}
+
+	// Obligation table: clone, then classify only the new completed-public
+	// text — the incremental path's whole point.
+	child.oblig = make(map[forum.ContractID]*obligation, len(ix.oblig)+len(added))
+	for id, o := range ix.oblig {
+		child.oblig[id] = o
+	}
+	child.money = ix.money
+	for _, c := range added {
+		if !c.Public || !c.IsComplete() {
+			continue
+		}
+		o := classifyContract(c)
+		child.oblig[c.ID] = &o
+		if isMoney(o.MakerCats) || isMoney(o.TakerCats) {
+			child.money = appendCopy(child.money, c)
+		}
+	}
+
+	// New watermark: the in-order check above makes it the last added
+	// contract's creation time (or the parent's, for a contract-less batch).
+	child.maxCreated = watermark
+	for _, c := range added {
+		if c.Created.After(child.maxCreated) {
+			child.maxCreated = c.Created
+		}
+	}
+
+	// Mark every group built so the child's lazy accessors hand out the
+	// extended state instead of rebuilding from nd.
+	for _, once := range []*sync.Once{
+		&child.monthsOnce, &child.subsetsOnce, &child.erasOnce,
+		&child.usersOnce, &child.obligOnce, &child.moneyOnce, &child.maxOnce,
+	} {
+		once.Do(func() {})
+	}
+	return child
+}
+
+// appendCopy appends c to s without ever growing into s's backing array:
+// the capped three-index slice forces the append to allocate, so siblings
+// derived from the same parent cannot clobber each other's elements.
+func appendCopy(s []*forum.Contract, c *forum.Contract) []*forum.Contract {
+	return append(s[:len(s):len(s)], c)
+}

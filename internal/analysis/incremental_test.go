@@ -1,0 +1,162 @@
+// The golden incremental-index test: a corpus is replayed as a base
+// prefix plus event batches, and at every generation the report rendered
+// through Index.Append must be byte-identical to one rebuilt from
+// scratch — at every worker count. This is the contract the serving
+// tier's live-ingest path (POST /v1/datasets/{id}/events) rests on; it
+// lives in an external test package so it can render through the public
+// facade exactly as hfserved does.
+package analysis_test
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"turnup"
+	"turnup/internal/analysis"
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/ingest"
+	"turnup/internal/market"
+	"turnup/internal/rng"
+)
+
+// renderSuite runs the descriptive suite (SkipModels: the model tier
+// re-fits from raw groups and only slows the comparison down) and
+// renders every section.
+func renderSuite(t *testing.T, d *dataset.Dataset, ix *analysis.Index, workers int) string {
+	t.Helper()
+	res, err := analysis.RunSuite(d, analysis.SuiteOptions{
+		SkipModels: true,
+		Workers:    workers,
+		Index:      ix,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatalf("RunSuite (workers=%d): %v", workers, err)
+	}
+	return turnup.RenderAll(res)
+}
+
+func TestIncrementalIndexGolden(t *testing.T) {
+	full, _, err := market.Generate(market.Config{Seed: 29, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the corpus in event order: contracts sorted by creation time
+	// (ties by id) so every batch is an in-order suffix extension.
+	contracts := append([]*forum.Contract(nil), full.Contracts...)
+	sort.SliceStable(contracts, func(i, j int) bool {
+		if !contracts[i].Created.Equal(contracts[j].Created) {
+			return contracts[i].Created.Before(contracts[j].Created)
+		}
+		return contracts[i].ID < contracts[j].ID
+	})
+	if len(contracts) < 40 {
+		t.Fatalf("corpus too small to split: %d contracts", len(contracts))
+	}
+	base := len(contracts) / 2
+	d := &dataset.Dataset{
+		Users:     full.Users,
+		Threads:   full.Threads,
+		Posts:     full.Posts,
+		Contracts: contracts[:base:base],
+		Ledger:    full.Ledger,
+	}
+	ix := analysis.NewIndex(d)
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	baseReport := renderSuite(t, d, ix, 1)
+
+	// Three batches: two thirds of the remainder in two chunks, then the
+	// tail — uneven sizes so batch boundaries never align with months.
+	rest := contracts[base:]
+	cuts := []int{len(rest) / 3, 2 * len(rest) / 3, len(rest)}
+	prev := 0
+	parentD, parentIx := d, ix
+	for gen, cut := range cuts {
+		batch := rest[prev:cut]
+		prev = cut
+		nd := ingest.Apply(parentD, &ingest.Batch{Contracts: batch})
+		nix := parentIx.Append(nd, batch)
+
+		assertIndexMatchesRebuild(t, nd, nix)
+
+		// One from-scratch render is the golden reference; the incremental
+		// index must reproduce it byte-for-byte at every worker count.
+		want := renderSuite(t, nd, nil, 1)
+		for _, w := range workerCounts {
+			if got := renderSuite(t, nd, nix, w); got != want {
+				t.Fatalf("generation %d workers %d: incremental report diverges from rebuild", gen+2, w)
+			}
+		}
+		parentD, parentIx = nd, nix
+	}
+
+	// COW: the base snapshot must render today exactly as it did before
+	// any append — three generations later, nothing leaked backwards.
+	if got := renderSuite(t, d, ix, 1); got != baseReport {
+		t.Fatal("appends mutated the parent snapshot: base report changed")
+	}
+
+	// Out-of-order append: a contract created before the watermark dirties
+	// history, so Append falls back to a rebuild — and must still match.
+	early := *contracts[base] // re-use a real contract's shape
+	early.ID = contracts[len(contracts)-1].ID + 1
+	early.Created = contracts[0].Created
+	ooo := []*forum.Contract{&early}
+	nd := ingest.Apply(parentD, &ingest.Batch{Contracts: ooo})
+	nix := parentIx.Append(nd, ooo)
+	assertIndexMatchesRebuild(t, nd, nix)
+	if got, want := renderSuite(t, nd, nix, 4), renderSuite(t, nd, nil, 1); got != want {
+		t.Fatal("out-of-order append: incremental report diverges from rebuild")
+	}
+}
+
+// assertIndexMatchesRebuild pins the appended index's derived groups to
+// a from-scratch NewIndex over the same corpus — structural identity,
+// not just report identity.
+func assertIndexMatchesRebuild(t *testing.T, d *dataset.Dataset, got *analysis.Index) {
+	t.Helper()
+	want := analysis.NewIndex(d)
+	if !reflect.DeepEqual(got.ByMonth(), want.ByMonth()) {
+		t.Fatal("ByMonth diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.CompletedByMonth(), want.CompletedByMonth()) {
+		t.Fatal("CompletedByMonth diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.Completed(), want.Completed()) {
+		t.Fatal("Completed diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.Public(), want.Public()) {
+		t.Fatal("Public diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.CompletedPublic(), want.CompletedPublic()) {
+		t.Fatal("CompletedPublic diverges from rebuild")
+	}
+	for _, e := range dataset.Eras {
+		if !reflect.DeepEqual(got.InEra(e), want.InEra(e)) {
+			t.Fatalf("InEra(%v) diverges from rebuild", e)
+		}
+	}
+	if !reflect.DeepEqual(got.UserContracts(), want.UserContracts()) {
+		t.Fatal("UserContracts diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.FirstEraOfUse(), want.FirstEraOfUse()) {
+		t.Fatal("FirstEraOfUse diverges from rebuild")
+	}
+	if !reflect.DeepEqual(got.MoneyContracts(), want.MoneyContracts()) {
+		t.Fatal("MoneyContracts diverges from rebuild")
+	}
+	for _, c := range d.CompletedPublic() {
+		if !reflect.DeepEqual(got.MakerCategories(c), want.MakerCategories(c)) {
+			t.Fatalf("contract %d: MakerCategories diverge from rebuild", c.ID)
+		}
+		if !reflect.DeepEqual(got.TakerCategories(c), want.TakerCategories(c)) {
+			t.Fatalf("contract %d: TakerCategories diverge from rebuild", c.ID)
+		}
+	}
+	if !got.MaxCreated().Equal(want.MaxCreated()) {
+		t.Fatalf("MaxCreated %v diverges from rebuild %v", got.MaxCreated(), want.MaxCreated())
+	}
+}

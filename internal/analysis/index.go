@@ -3,6 +3,7 @@ package analysis
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
@@ -50,6 +51,9 @@ type Index struct {
 
 	moneyOnce sync.Once
 	money     []*forum.Contract
+
+	maxOnce    sync.Once
+	maxCreated time.Time
 }
 
 // obligation is the memoized classification of one contract's maker and

@@ -67,8 +67,14 @@ func RunSuiteCtx(ctx context.Context, d *dataset.Dataset, opts SuiteOptions, src
 	// One Index per run: every stage reads the corpus through it, so
 	// shared groupings (month buckets, subsets, the obligation
 	// classification table) are built once, by whichever stage first needs
-	// them, and reused by the rest.
-	sched := &scheduler{ix: NewIndex(d), res: res, opts: &opts, streams: streams, parent: suiteSpan}
+	// them, and reused by the rest. A caller-supplied Index over the same
+	// dataset (the ingest tier's incrementally-extended one) stands in for
+	// a fresh derivation; its groups are identical by Append's contract.
+	ix := opts.Index
+	if ix == nil || ix.D != d {
+		ix = NewIndex(d)
+	}
+	sched := &scheduler{ix: ix, res: res, opts: &opts, streams: streams, parent: suiteSpan}
 
 	// Per-selection dependency bookkeeping. selectStages guarantees every
 	// dep of a selected stage is selected too, so indegrees are complete.

@@ -25,6 +25,12 @@ type SuiteOptions struct {
 	// DAG); the scheduler adds each requested stage's transitive
 	// dependencies automatically. Empty means every stage.
 	Stages []string
+	// Index, when non-nil and built over the same dataset the run is for,
+	// is reused instead of deriving a fresh Index — how the serving tier
+	// carries incrementally-extended groupings (Index.Append) across
+	// ingest generations instead of re-bucketing the whole corpus per
+	// run. Ignored when it wraps a different dataset.
+	Index *Index
 
 	// Trace, when non-nil, records one span per Suite stage (wall time and
 	// allocation deltas; a worker attr says which pool worker ran it). The

@@ -1,0 +1,321 @@
+// Package ingest turns the frozen-corpus pipeline into a stream consumer:
+// it decodes contract/user event batches (JSON lines or CSV rows), validates
+// them against the dataset they extend, and applies them copy-on-write so a
+// report run holding the previous snapshot never observes a mutation. It
+// also implements the time-window views (?window=, ?as-of=) that make
+// era-to-date and trailing-window reports possible over a growing corpus.
+// See DESIGN.md §3.7.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// Batch is one decoded event batch: zero or more new users followed by
+// zero or more new contracts. Contracts may reference users from the same
+// batch or users already present in the dataset being extended.
+type Batch struct {
+	Users     []*forum.User
+	Contracts []*forum.Contract
+}
+
+// Len reports the number of events in the batch.
+func (b *Batch) Len() int { return len(b.Users) + len(b.Contracts) }
+
+// ErrUnsupportedEvents marks an event body whose Content-Type is neither
+// JSON lines nor CSV.
+var ErrUnsupportedEvents = errors.New("unsupported Content-Type: want application/x-ndjson (JSON lines) or text/csv")
+
+// DecodeBatch parses an event body by Content-Type: JSON lines for
+// application/x-ndjson or application/json(l), contract CSV rows (the
+// hfgen contracts.csv schema, header included) for text/csv or
+// application/csv. The body should already be size-bounded by the caller.
+func DecodeBatch(contentType string, body io.Reader) (*Batch, error) {
+	switch {
+	case strings.Contains(contentType, "ndjson"), strings.Contains(contentType, "jsonl"),
+		strings.Contains(contentType, "json"):
+		return DecodeNDJSON(body)
+	case strings.Contains(contentType, "csv"):
+		return DecodeCSV(body)
+	default:
+		return nil, fmt.Errorf("%w (got %q)", ErrUnsupportedEvents, contentType)
+	}
+}
+
+// userEvent / contractEvent are the JSON-lines wire forms. Field names
+// mirror the CSV schema; times are RFC3339; type and status use the same
+// vocabulary the CSV writer emits ("Exchanging", "Complete", …).
+type eventLine struct {
+	Kind string `json:"kind"` // "user" | "contract"
+
+	// User fields.
+	Joined           string `json:"joined,omitempty"`
+	FirstPost        string `json:"first_post,omitempty"`
+	Posts            int    `json:"posts,omitempty"`
+	MarketplacePosts int    `json:"marketplace_posts,omitempty"`
+	Reputation       int    `json:"reputation,omitempty"`
+
+	// Contract fields.
+	ID              int    `json:"id"`
+	Type            string `json:"type,omitempty"`
+	Maker           int    `json:"maker,omitempty"`
+	Taker           int    `json:"taker,omitempty"`
+	Thread          int    `json:"thread,omitempty"`
+	Created         string `json:"created,omitempty"`
+	Decided         string `json:"decided,omitempty"`
+	Completed       string `json:"completed,omitempty"`
+	Status          string `json:"status,omitempty"`
+	Public          bool   `json:"public,omitempty"`
+	MakerObligation string `json:"maker_obligation,omitempty"`
+	TakerObligation string `json:"taker_obligation,omitempty"`
+	MakerRating     int    `json:"maker_rating,omitempty"`
+	TakerRating     int    `json:"taker_rating,omitempty"`
+	BTCAddress      string `json:"btc_address,omitempty"`
+	TxHash          string `json:"tx_hash,omitempty"`
+}
+
+// DecodeNDJSON parses one event per line: {"kind":"user",...} or
+// {"kind":"contract",...}. Blank lines are skipped; any other kind, or a
+// malformed line, fails the whole batch — appends are all-or-nothing.
+func DecodeNDJSON(body io.Reader) (*Batch, error) {
+	b := &Batch{}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20) // obligation text can be long
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev eventLine
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("ingest: event line %d: %w", line, err)
+		}
+		switch ev.Kind {
+		case "user":
+			u, err := ev.user()
+			if err != nil {
+				return nil, fmt.Errorf("ingest: event line %d: %w", line, err)
+			}
+			b.Users = append(b.Users, u)
+		case "contract":
+			c, err := ev.contract()
+			if err != nil {
+				return nil, fmt.Errorf("ingest: event line %d: %w", line, err)
+			}
+			b.Contracts = append(b.Contracts, c)
+		default:
+			return nil, fmt.Errorf("ingest: event line %d: unknown kind %q (want user or contract)", line, ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: reading events: %w", err)
+	}
+	return b, nil
+}
+
+func (ev *eventLine) user() (*forum.User, error) {
+	joined, err := parseEventTime(ev.Joined)
+	if err != nil {
+		return nil, fmt.Errorf("bad joined: %w", err)
+	}
+	firstPost, err := parseEventTime(ev.FirstPost)
+	if err != nil {
+		return nil, fmt.Errorf("bad first_post: %w", err)
+	}
+	return &forum.User{
+		ID:               forum.UserID(ev.ID),
+		Joined:           joined,
+		FirstPost:        firstPost,
+		Posts:            ev.Posts,
+		MarketplacePosts: ev.MarketplacePosts,
+		Reputation:       ev.Reputation,
+	}, nil
+}
+
+func (ev *eventLine) contract() (*forum.Contract, error) {
+	typ, err := forum.ParseContractType(ev.Type)
+	if err != nil {
+		return nil, err
+	}
+	status, err := forum.ParseStatus(ev.Status)
+	if err != nil {
+		return nil, err
+	}
+	created, err := parseEventTime(ev.Created)
+	if err != nil {
+		return nil, fmt.Errorf("bad created: %w", err)
+	}
+	decided, err := parseEventTime(ev.Decided)
+	if err != nil {
+		return nil, fmt.Errorf("bad decided: %w", err)
+	}
+	completed, err := parseEventTime(ev.Completed)
+	if err != nil {
+		return nil, fmt.Errorf("bad completed: %w", err)
+	}
+	return &forum.Contract{
+		ID:              forum.ContractID(ev.ID),
+		Type:            typ,
+		Maker:           forum.UserID(ev.Maker),
+		Taker:           forum.UserID(ev.Taker),
+		Thread:          forum.ThreadID(ev.Thread),
+		Created:         created,
+		Decided:         decided,
+		Completed:       completed,
+		Status:          status,
+		Public:          ev.Public,
+		MakerObligation: ev.MakerObligation,
+		TakerObligation: ev.TakerObligation,
+		MakerRating:     forum.Rating(ev.MakerRating),
+		TakerRating:     forum.Rating(ev.TakerRating),
+		BTCAddress:      ev.BTCAddress,
+		TxHash:          ev.TxHash,
+	}, nil
+}
+
+func parseEventTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+// DecodeCSV parses an event body holding contract rows in the canonical
+// contracts.csv schema, header line included — the form the ingest-smoke
+// job streams a truncated hfgen corpus back with. CSV batches carry no
+// user events; every referenced user must already exist in the dataset.
+func DecodeCSV(body io.Reader) (*Batch, error) {
+	contracts, err := dataset.ReadContractsCSV(body)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Contracts: contracts}, nil
+}
+
+// ValidateAgainst checks the batch against the dataset it would extend:
+// user and contract IDs must be new (and unique within the batch), every
+// contract must reference a known or batch-introduced user, and each
+// contract must satisfy the same invariants Dataset.Validate imposes on a
+// full corpus. The dataset is not modified.
+func (b *Batch) ValidateAgainst(d *dataset.Dataset) error {
+	newUsers := make(map[forum.UserID]bool, len(b.Users))
+	for _, u := range b.Users {
+		if u.ID <= 0 {
+			return fmt.Errorf("ingest: user id %d is not positive", u.ID)
+		}
+		if _, ok := d.Users[u.ID]; ok {
+			return fmt.Errorf("ingest: user %d already exists in the dataset", u.ID)
+		}
+		if newUsers[u.ID] {
+			return fmt.Errorf("ingest: user %d appears twice in the batch", u.ID)
+		}
+		newUsers[u.ID] = true
+	}
+	known := func(id forum.UserID) bool {
+		if newUsers[id] {
+			return true
+		}
+		_, ok := d.Users[id]
+		return ok
+	}
+	existing := make(map[forum.ContractID]bool, len(d.Contracts))
+	for _, c := range d.Contracts {
+		existing[c.ID] = true
+	}
+	for _, c := range b.Contracts {
+		if c.ID <= 0 {
+			return fmt.Errorf("ingest: contract id %d is not positive", c.ID)
+		}
+		if existing[c.ID] {
+			return fmt.Errorf("ingest: contract %d already exists in the dataset", c.ID)
+		}
+		existing[c.ID] = true
+		if c.Maker == c.Taker {
+			return fmt.Errorf("ingest: contract %d has identical maker and taker", c.ID)
+		}
+		if !known(c.Maker) {
+			return fmt.Errorf("ingest: contract %d references unknown maker %d", c.ID, c.Maker)
+		}
+		if !known(c.Taker) {
+			return fmt.Errorf("ingest: contract %d references unknown taker %d", c.ID, c.Taker)
+		}
+		if c.Created.Before(dataset.SetupStart) || !c.Created.Before(dataset.StudyEnd) {
+			return fmt.Errorf("ingest: contract %d created outside the study window: %v", c.ID, c.Created)
+		}
+		if !c.Completed.IsZero() && c.Completed.Before(c.Created) {
+			return fmt.Errorf("ingest: contract %d completed before creation", c.ID)
+		}
+		if !c.Public && (c.MakerObligation != "" || c.TakerObligation != "") {
+			return fmt.Errorf("ingest: private contract %d leaks obligation text", c.ID)
+		}
+		if c.Status == forum.StatusDisputed && !c.Public {
+			return fmt.Errorf("ingest: disputed contract %d is not public", c.ID)
+		}
+	}
+	return nil
+}
+
+// Apply extends d with the batch copy-on-write and returns the new
+// dataset; d itself is never mutated, so an in-flight analysis holding
+// the previous snapshot keeps reading consistent data. The user map is
+// cloned; the contract slice is extended through a capped append (the
+// parent's backing array can never be written through); threads, posts,
+// and the ledger are shared — events never touch them.
+func Apply(d *dataset.Dataset, b *Batch) *dataset.Dataset {
+	users := make(map[forum.UserID]*forum.User, len(d.Users)+len(b.Users))
+	for id, u := range d.Users {
+		users[id] = u
+	}
+	for _, u := range b.Users {
+		users[u.ID] = u
+	}
+	return &dataset.Dataset{
+		Users:     users,
+		Threads:   d.Threads,
+		Posts:     d.Posts,
+		Contracts: append(d.Contracts[:len(d.Contracts):len(d.Contracts)], b.Contracts...),
+		Ledger:    d.Ledger,
+	}
+}
+
+// WriteBatchContractsCSV renders the batch's contracts in the canonical
+// contracts.csv form — the byte stream the serving tier's rolling dataset
+// digest commits to.
+func WriteBatchContractsCSV(w io.Writer, contracts []*forum.Contract) error {
+	return dataset.WriteContractsCSV(w, contracts)
+}
+
+// WriteBatchUsersCSV renders the batch's users in the canonical users.csv
+// form (ordered by id, so identical batches always serialise identically).
+func WriteBatchUsersCSV(w io.Writer, users []*forum.User) error {
+	m := make(map[forum.UserID]*forum.User, len(users))
+	for _, u := range users {
+		m[u.ID] = u
+	}
+	return dataset.WriteUsersCSV(w, m)
+}
+
+// MaxCreated returns the latest contract creation time in d (zero for an
+// empty corpus) — the default ?as-of= anchor, deterministic per
+// generation.
+func MaxCreated(d *dataset.Dataset) time.Time {
+	var max time.Time
+	for _, c := range d.Contracts {
+		if c.Created.After(max) {
+			max = c.Created
+		}
+	}
+	return max
+}

@@ -1,0 +1,283 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// tinyDataset builds a two-user, one-contract corpus for batches to
+// extend.
+func tinyDataset() *dataset.Dataset {
+	at := dataset.SetupStart.Add(24 * time.Hour)
+	return &dataset.Dataset{
+		Users: map[forum.UserID]*forum.User{
+			1: {ID: 1, Joined: dataset.SetupStart},
+			2: {ID: 2, Joined: dataset.SetupStart},
+		},
+		Contracts: []*forum.Contract{{
+			ID: 1, Type: forum.Exchange, Maker: 1, Taker: 2,
+			Created: at, Completed: at.Add(time.Hour),
+			Status: forum.StatusCompleted, Public: true,
+			MakerObligation: "btc", TakerObligation: "paypal transfer",
+		}},
+	}
+}
+
+const ndjsonBatch = `
+{"kind":"user","id":3,"joined":"2019-04-01T00:00:00Z","first_post":"2019-04-01T00:00:00Z","posts":2,"marketplace_posts":1,"reputation":5}
+
+{"kind":"contract","id":2,"type":"EXCHANGE","maker":3,"taker":1,"thread":1,"created":"2019-04-02T00:00:00Z","decided":"2019-04-02T01:00:00Z","completed":"2019-04-02T02:00:00Z","status":"Complete","public":true,"maker_obligation":"btc","taker_obligation":"paypal transfer","maker_rating":1,"taker_rating":1}
+`
+
+func TestDecodeNDJSON(t *testing.T) {
+	b, err := DecodeNDJSON(strings.NewReader(ndjsonBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Users) != 1 || len(b.Contracts) != 1 || b.Len() != 2 {
+		t.Fatalf("decoded %d users %d contracts, want 1+1", len(b.Users), len(b.Contracts))
+	}
+	u := b.Users[0]
+	if u.ID != 3 || u.Posts != 2 || u.MarketplacePosts != 1 || u.Reputation != 5 {
+		t.Errorf("user decoded wrong: %+v", u)
+	}
+	c := b.Contracts[0]
+	if c.ID != 2 || c.Type != forum.Exchange || c.Status != forum.StatusCompleted ||
+		c.Maker != 3 || c.Taker != 1 || !c.Public {
+		t.Errorf("contract decoded wrong: %+v", c)
+	}
+	if c.Created.IsZero() || !c.Completed.Equal(c.Created.Add(2*time.Hour)) {
+		t.Errorf("contract times decoded wrong: created %v completed %v", c.Created, c.Completed)
+	}
+}
+
+func TestDecodeNDJSONRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown kind":  `{"kind":"thread","id":1}`,
+		"unknown field": `{"kind":"user","id":1,"surprise":true}`,
+		"bad time":      `{"kind":"user","id":1,"joined":"yesterday"}`,
+		"bad status":    `{"kind":"contract","id":1,"type":"SALE","status":"Done"}`,
+		"bad type":      `{"kind":"contract","id":1,"type":"LOAN","status":"Complete"}`,
+		"not json":      `kind=user id=1`,
+	} {
+		if _, err := DecodeNDJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeBatchContentTypes(t *testing.T) {
+	if _, err := DecodeBatch("application/x-ndjson", strings.NewReader(ndjsonBatch)); err != nil {
+		t.Errorf("ndjson: %v", err)
+	}
+	var csv bytes.Buffer
+	if err := WriteBatchContractsCSV(&csv, tinyDataset().Contracts); err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBatch("text/csv", bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if len(b.Contracts) != 1 || len(b.Users) != 0 {
+		t.Fatalf("csv decoded %d contracts %d users, want 1+0", len(b.Contracts), len(b.Users))
+	}
+	if _, err := DecodeBatch("application/octet-stream", strings.NewReader("x")); !errors.Is(err, ErrUnsupportedEvents) {
+		t.Errorf("octet-stream: got %v, want ErrUnsupportedEvents", err)
+	}
+}
+
+func TestValidateAgainst(t *testing.T) {
+	d := tinyDataset()
+	at := dataset.StableStart
+	fresh := func() (*forum.User, *forum.Contract) {
+		return &forum.User{ID: 3, Joined: at},
+			&forum.Contract{ID: 2, Maker: 3, Taker: 1, Created: at,
+				Status: forum.StatusCompleted, Public: true}
+	}
+
+	u, c := fresh()
+	if err := (&Batch{Users: []*forum.User{u}, Contracts: []*forum.Contract{c}}).ValidateAgainst(d); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+
+	cases := map[string]func() *Batch{
+		"duplicate user id": func() *Batch {
+			u, _ := fresh()
+			u.ID = 1
+			return &Batch{Users: []*forum.User{u}}
+		},
+		"user twice in batch": func() *Batch {
+			u1, _ := fresh()
+			u2, _ := fresh()
+			return &Batch{Users: []*forum.User{u1, u2}}
+		},
+		"duplicate contract id": func() *Batch {
+			_, c := fresh()
+			c.ID = 1
+			c.Maker, c.Taker = 1, 2
+			return &Batch{Contracts: []*forum.Contract{c}}
+		},
+		"unknown maker": func() *Batch {
+			_, c := fresh()
+			return &Batch{Contracts: []*forum.Contract{c}} // maker 3 not introduced
+		},
+		"self-dealing": func() *Batch {
+			_, c := fresh()
+			c.Maker, c.Taker = 1, 1
+			return &Batch{Contracts: []*forum.Contract{c}}
+		},
+		"outside study window": func() *Batch {
+			u, c := fresh()
+			c.Created = dataset.StudyEnd
+			return &Batch{Users: []*forum.User{u}, Contracts: []*forum.Contract{c}}
+		},
+		"completed before created": func() *Batch {
+			u, c := fresh()
+			c.Completed = c.Created.Add(-time.Hour)
+			return &Batch{Users: []*forum.User{u}, Contracts: []*forum.Contract{c}}
+		},
+		"private contract leaks text": func() *Batch {
+			u, c := fresh()
+			c.Public = false
+			c.MakerObligation = "btc"
+			return &Batch{Users: []*forum.User{u}, Contracts: []*forum.Contract{c}}
+		},
+	}
+	for name, mk := range cases {
+		if err := mk().ValidateAgainst(d); err == nil {
+			t.Errorf("%s: validated without error", name)
+		}
+	}
+}
+
+// TestApplyCopyOnWrite pins the COW contract: the parent dataset's user
+// map and contract slice are untouched by an append, and appending two
+// different batches to the same parent never makes the siblings share a
+// backing array.
+func TestApplyCopyOnWrite(t *testing.T) {
+	d := tinyDataset()
+	at := dataset.StableStart
+	mk := func(id int) *Batch {
+		return &Batch{
+			Users: []*forum.User{{ID: forum.UserID(10 + id), Joined: at}},
+			Contracts: []*forum.Contract{{
+				ID: forum.ContractID(id), Maker: forum.UserID(10 + id), Taker: 1,
+				Created: at, Status: forum.StatusCompleted, Public: true,
+			}},
+		}
+	}
+	a := Apply(d, mk(2))
+	b := Apply(d, mk(3))
+
+	if len(d.Contracts) != 1 || len(d.Users) != 2 {
+		t.Fatalf("parent mutated: %d contracts %d users", len(d.Contracts), len(d.Users))
+	}
+	if len(a.Contracts) != 2 || len(b.Contracts) != 2 {
+		t.Fatalf("children hold %d and %d contracts, want 2 each", len(a.Contracts), len(b.Contracts))
+	}
+	if a.Contracts[1].ID == b.Contracts[1].ID {
+		t.Fatal("sibling appends clobbered each other: shared backing array")
+	}
+	if _, ok := d.Users[12]; ok {
+		t.Fatal("parent user map gained a batch user")
+	}
+	if _, ok := a.Users[12]; !ok {
+		t.Fatal("child user map missing its batch user")
+	}
+	if _, ok := a.Users[13]; ok {
+		t.Fatal("sibling user maps are shared")
+	}
+}
+
+func TestValidateWindowSyntax(t *testing.T) {
+	for _, ok := range []struct{ window, asOf string }{
+		{"", ""}, {"30d", ""}, {"90d", ""}, {"1d", ""},
+		{"era-to-date", ""}, {"", "2020-03-11"}, {"7d", "2019-01-01"},
+	} {
+		if err := ValidateWindow(ok.window, ok.asOf); err != nil {
+			t.Errorf("ValidateWindow(%q, %q): %v", ok.window, ok.asOf, err)
+		}
+	}
+	for _, bad := range []struct{ window, asOf string }{
+		{"30", ""}, {"0d", ""}, {"-5d", ""}, {"monthly", ""},
+		{"d", ""}, {"", "yesterday"}, {"", "2020-13-01"}, {"", "03/11/2020"},
+	} {
+		if err := ValidateWindow(bad.window, bad.asOf); err == nil {
+			t.Errorf("ValidateWindow(%q, %q) accepted", bad.window, bad.asOf)
+		}
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	d := tinyDataset() // one contract created SetupStart+24h
+	latest := d.Contracts[0].Created
+
+	start, end, err := WindowBounds(d, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !start.Equal(dataset.SetupStart) || !end.Equal(latest.Add(time.Nanosecond)) {
+		t.Errorf("default bounds [%v, %v)", start, end)
+	}
+
+	start, end, err = WindowBounds(d, "30d", "2020-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnd := time.Date(2020, 3, 16, 0, 0, 0, 0, time.UTC) // as-of day inclusive
+	if !end.Equal(wantEnd) || !start.Equal(wantEnd.AddDate(0, 0, -30)) {
+		t.Errorf("30d as-of bounds [%v, %v)", start, end)
+	}
+
+	start, _, err = WindowBounds(d, "era-to-date", "2020-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !start.Equal(dataset.CovidStart) {
+		t.Errorf("era-to-date start %v, want COVID era start %v", start, dataset.CovidStart)
+	}
+
+	if _, _, err := WindowBounds(&dataset.Dataset{}, "", ""); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("empty corpus: got %v, want ErrEmptyWindow", err)
+	}
+}
+
+func TestWindowFiltersContractsAndPosts(t *testing.T) {
+	d := tinyDataset()
+	early, late := d.Contracts[0].Created, dataset.CovidStart
+	d.Contracts = append(d.Contracts, &forum.Contract{
+		ID: 2, Maker: 1, Taker: 2, Created: late,
+		Status: forum.StatusCompleted, Public: true,
+	})
+	d.Posts = []*forum.Post{
+		{ID: 1, Author: 1, Created: early},
+		{ID: 2, Author: 2, Created: late},
+	}
+
+	w, err := Window(d, "30d", "2020-03-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Contracts) != 1 || w.Contracts[0].ID != 2 {
+		t.Fatalf("window selected %d contracts, want only the COVID one", len(w.Contracts))
+	}
+	if len(w.Posts) != 1 || w.Posts[0].ID != 2 {
+		t.Fatalf("window selected %d posts, want only the COVID one", len(w.Posts))
+	}
+	if len(w.Users) != len(d.Users) {
+		t.Error("window narrowed the user population")
+	}
+	if len(d.Contracts) != 2 || len(d.Posts) != 2 {
+		t.Error("Window mutated the source dataset")
+	}
+
+	if _, err := Window(d, "1d", "2018-06-01"); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("empty selection: got %v, want ErrEmptyWindow", err)
+	}
+}

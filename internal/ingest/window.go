@@ -1,0 +1,132 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+)
+
+// ErrEmptyWindow marks a window/as-of combination that selects no
+// contracts at all — served as 400 bad_params rather than running the
+// analysis suite over an empty corpus.
+var ErrEmptyWindow = errors.New("ingest: the requested window contains no contracts")
+
+// ValidateWindow checks the ?window= and ?as-of= parameter syntax without
+// a corpus: window is "<N>d" (a positive day count, e.g. 30d or 90d) or
+// "era-to-date"; as-of is a YYYY-MM-DD date. Either may be empty.
+func ValidateWindow(window, asOf string) error {
+	if window != "" && window != "era-to-date" {
+		if _, err := parseDayWindow(window); err != nil {
+			return err
+		}
+	}
+	if asOf != "" {
+		if _, err := time.Parse("2006-01-02", asOf); err != nil {
+			return fmt.Errorf("bad as-of %q: want a YYYY-MM-DD date", asOf)
+		}
+	}
+	return nil
+}
+
+// parseDayWindow parses "30d" → 30.
+func parseDayWindow(window string) (int, error) {
+	num, ok := strings.CutSuffix(window, "d")
+	if ok {
+		if n, err := strconv.Atoi(num); err == nil && n > 0 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad window %q: want <days>d (e.g. 30d, 90d) or era-to-date", window)
+}
+
+// WindowBounds resolves the [start, end) time span a window/as-of pair
+// selects over d. The end is exclusive: the day after ?as-of= (so the
+// as-of day itself is included), defaulting to just past the corpus's
+// latest contract creation — a deterministic anchor per generation. The
+// start is end minus the day window, the containing era's start for
+// era-to-date, or the study start when only ?as-of= is given.
+func WindowBounds(d *dataset.Dataset, window, asOf string) (start, end time.Time, err error) {
+	if asOf != "" {
+		day, err := time.Parse("2006-01-02", asOf)
+		if err != nil {
+			return start, end, fmt.Errorf("bad as-of %q: want a YYYY-MM-DD date", asOf)
+		}
+		end = day.AddDate(0, 0, 1)
+	} else {
+		max := MaxCreated(d)
+		if max.IsZero() {
+			return start, end, ErrEmptyWindow
+		}
+		end = max.Add(time.Nanosecond)
+	}
+	switch {
+	case window == "era-to-date":
+		start, _ = dataset.EraOf(end.Add(-time.Nanosecond)).Span()
+	case window != "":
+		days, err := parseDayWindow(window)
+		if err != nil {
+			return start, end, err
+		}
+		start = end.AddDate(0, 0, -days)
+	default:
+		start = dataset.SetupStart
+	}
+	return start, end, nil
+}
+
+// Window returns the sub-corpus of d whose contracts (and posts) were
+// created within [start, end) for the given window/as-of pair. Users,
+// threads, and the ledger are shared in full — windowing narrows the
+// activity under study, not the population it could have come from. The
+// derived corpus is a fresh Dataset; d is never mutated. An empty
+// selection returns ErrEmptyWindow.
+func Window(d *dataset.Dataset, window, asOf string) (*dataset.Dataset, error) {
+	start, end, err := WindowBounds(d, window, asOf)
+	if err != nil {
+		return nil, err
+	}
+	in := func(t time.Time) bool { return !t.Before(start) && t.Before(end) }
+	var contracts []*forum.Contract
+	for _, c := range d.Contracts {
+		if in(c.Created) {
+			contracts = append(contracts, c)
+		}
+	}
+	if len(contracts) == 0 {
+		return nil, fmt.Errorf("%w (window %s as-of %s selects [%s, %s))",
+			ErrEmptyWindow, orAll(window), orLatest(asOf),
+			start.Format("2006-01-02"), end.Format("2006-01-02"))
+	}
+	var posts []*forum.Post
+	for _, p := range d.Posts {
+		if in(p.Created) {
+			posts = append(posts, p)
+		}
+	}
+	return &dataset.Dataset{
+		Users:     d.Users,
+		Threads:   d.Threads,
+		Posts:     posts,
+		Contracts: contracts,
+		Ledger:    d.Ledger,
+	}, nil
+}
+
+func orAll(window string) string {
+	if window == "" {
+		return "all"
+	}
+	return window
+}
+
+func orLatest(asOf string) string {
+	if asOf == "" {
+		return "latest"
+	}
+	return asOf
+}

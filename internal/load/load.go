@@ -12,6 +12,10 @@
 //	section  per-section partial runs cycling a section list
 //	upload   POST /v1/datasets with a pre-generated CSV pair
 //	dataset  reports over the uploaded dataset (?dataset=)
+//	events   POST /v1/datasets/{id}/events appending a small JSON-lines
+//	         batch, each followed by a windowed report (?window=30d) so
+//	         both ingest latency and the windowed read path land in the
+//	         benchmark report
 //
 // Every request carries a deterministic X-Request-Id, and the harness
 // verifies the server echoes it back — the client half of the access-log
@@ -54,15 +58,20 @@ type Mix struct {
 	Section int `json:"section"`
 	Upload  int `json:"upload"`
 	Dataset int `json:"dataset"`
+	Events  int `json:"events"`
 }
 
 // DefaultMix is a cache-friendly blend: mostly hot traffic with a steady
-// trickle of cold runs, partial sections, uploads, and dataset reports.
-func DefaultMix() Mix { return Mix{Hot: 6, Cold: 1, Section: 2, Upload: 1, Dataset: 2} }
+// trickle of cold runs, partial sections, uploads, dataset reports, and
+// event appends.
+func DefaultMix() Mix { return Mix{Hot: 6, Cold: 1, Section: 2, Upload: 1, Dataset: 2, Events: 1} }
 
-func (m Mix) total() int { return m.Hot + m.Cold + m.Section + m.Upload + m.Dataset }
+func (m Mix) total() int { return m.Hot + m.Cold + m.Section + m.Upload + m.Dataset + m.Events }
 
-// kind indexes the request kinds in Mix order.
+// kind indexes the request kinds in Mix order. kindWindow is never drawn
+// by pick — each successful events append issues one windowed report as a
+// follow-up, so the windowed read path is measured at exactly the moments
+// its cache generation just moved.
 type kind int
 
 const (
@@ -71,11 +80,13 @@ const (
 	kindSection
 	kindUpload
 	kindDataset
+	kindEvents
+	kindWindow
 )
 
 // routeNames label the per-kind latency series in the report and the
 // registry (load_request_seconds{route=...}).
-var routeNames = [...]string{"report:hot", "report:cold", "report:section", "datasets:upload", "report:dataset"}
+var routeNames = [...]string{"report:hot", "report:cold", "report:section", "datasets:upload", "report:dataset", "events:append", "report:window"}
 
 // Config parameterises one load run. Zero values default sanely; only
 // BaseURL is required.
@@ -108,15 +119,15 @@ type Latency struct {
 // RouteReport is the per-route section of the run report. Latency
 // quantiles cover successful requests; errors are counted separately.
 type RouteReport struct {
-	Route       string  `json:"route"`
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	ErrorRate   float64 `json:"error_rate"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	Coalesced   int64   `json:"coalesced"`
+	Route        string  `json:"route"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	ErrorRate    float64 `json:"error_rate"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	Coalesced    int64   `json:"coalesced"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
-	LatencyMS   Latency `json:"latency_ms"`
+	LatencyMS    Latency `json:"latency_ms"`
 }
 
 // Report is the run summary hfload writes to BENCH_serve_load.json.
@@ -162,6 +173,7 @@ type runner struct {
 	seq     atomic.Uint64 // request-id sequence
 	coldSeq atomic.Uint64 // unique seeds for cold requests
 	secSeq  atomic.Uint64 // section rotation
+	evSeq   atomic.Uint64 // unique user/contract ids for event batches
 	missed  atomic.Int64
 	idBad   atomic.Int64
 	hedged  atomic.Int64
@@ -256,7 +268,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	r := &runner{cfg: cfg, client: cfg.Client, reg: cfg.Registry}
 
-	if cfg.Mix.Upload > 0 || cfg.Mix.Dataset > 0 {
+	if cfg.Mix.Upload > 0 || cfg.Mix.Dataset > 0 || cfg.Mix.Events > 0 {
 		if err := r.setupDataset(ctx); err != nil {
 			return nil, err
 		}
@@ -320,7 +332,7 @@ dispatch:
 func (r *runner) pick(rng *rand.Rand) kind {
 	m := r.cfg.Mix
 	n := rng.Intn(m.total())
-	for i, w := range []int{m.Hot, m.Cold, m.Section, m.Upload, m.Dataset} {
+	for i, w := range []int{m.Hot, m.Cold, m.Section, m.Upload, m.Dataset, m.Events} {
 		if n < w {
 			return kind(i)
 		}
@@ -422,6 +434,17 @@ func (r *runner) do(ctx context.Context, k kind) {
 		req, err = http.NewRequestWithContext(ctx, "GET",
 			fmt.Sprintf("%s/v1/report/%s?dataset=%s&models=false",
 				r.cfg.BaseURL, r.cfg.Sections[0], r.datasetID), nil)
+	case kindEvents:
+		req, err = http.NewRequestWithContext(ctx, "POST",
+			fmt.Sprintf("%s/v1/datasets/%s/events", r.cfg.BaseURL, r.datasetID),
+			bytes.NewReader(r.eventBatch()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-ndjson")
+		}
+	case kindWindow:
+		req, err = http.NewRequestWithContext(ctx, "GET",
+			fmt.Sprintf("%s/v1/report/%s?dataset=%s&window=30d&models=false",
+				r.cfg.BaseURL, r.cfg.Sections[0], r.datasetID), nil)
 	}
 	st := &r.stats[k]
 	st.requests.Add(1)
@@ -467,6 +490,32 @@ func (r *runner) do(ctx context.Context, k kind) {
 	}
 	r.reg.Histogram("load_request_seconds").Observe(dur)
 	r.reg.Histogram(fmt.Sprintf(`load_request_seconds{route=%q,outcome=%q}`, routeNames[k], outcome)).Observe(dur)
+	if k == kindEvents && outcome == "ok" {
+		// Read-your-write: the windowed report right after an append lands
+		// on the just-bumped generation, so report:window measures the
+		// invalidate→recompute path rather than a steady cache hit.
+		r.do(ctx, kindWindow)
+	}
+}
+
+// eventBatch builds one small JSON-lines append: two fresh users and a
+// completed public contract between them, created late in the COVID-19
+// era. Sequential ids keep batches disjoint; concurrent workers may land
+// batches out of creation order, which exercises the server's full-rebuild
+// fallback alongside the in-order incremental path.
+func (r *runner) eventBatch() []byte {
+	n := r.evSeq.Add(1)
+	maker := 5_000_000 + 2*n - 1
+	taker := 5_000_000 + 2*n
+	at := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(n) * time.Second)
+	created := at.Format(time.RFC3339)
+	done := at.Add(30 * time.Minute).Format(time.RFC3339)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"kind":"user","id":%d,"joined":%q,"first_post":%q,"posts":1,"marketplace_posts":1,"reputation":1}`+"\n", maker, created, created)
+	fmt.Fprintf(&b, `{"kind":"user","id":%d,"joined":%q,"first_post":%q,"posts":1,"marketplace_posts":1,"reputation":1}`+"\n", taker, created, created)
+	fmt.Fprintf(&b, `{"kind":"contract","id":%d,"type":"EXCHANGE","maker":%d,"taker":%d,"thread":1,"created":%q,"decided":%q,"completed":%q,"status":"Complete","public":true,"maker_obligation":"btc","taker_obligation":"paypal transfer","maker_rating":1,"taker_rating":1}`+"\n",
+		9_000_000+n, maker, taker, created, created, done)
+	return b.Bytes()
 }
 
 // latencyOf summarises a histogram in milliseconds.

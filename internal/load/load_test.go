@@ -52,7 +52,7 @@ func loadServer(t *testing.T) *httptest.Server {
 	srv := serve.New(serve.Options{
 		CacheSize: 32,
 		MaxRuns:   4,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return res, nil
 		},
 	})

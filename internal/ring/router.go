@@ -129,6 +129,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/datasets", rt.handleUpload)
 	rt.mux.HandleFunc("GET /v1/datasets", rt.handleList)
 	rt.mux.HandleFunc("DELETE /v1/datasets/{id}", rt.handleDelete)
+	rt.mux.HandleFunc("POST /v1/datasets/{id}/events", rt.handleEvents)
 	rt.mux.HandleFunc("GET /v1/sections", rt.handleVocab)
 	rt.mux.HandleFunc("GET /v1/stages", rt.handleVocab)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -463,6 +464,47 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	// Replicas first (concurrently, errors counted but not fatal — the
 	// owner's response is the contract), then the owner's answer relays.
+	var wg sync.WaitGroup
+	for _, replica := range owners[1:] {
+		wg.Add(1)
+		go func(shard string) {
+			defer wg.Done()
+			resp, err := rt.forward(r.Context(), shard, r, raw)
+			if err != nil {
+				rt.reg.Counter("router_replica_errors_total").Inc()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 400 {
+				rt.reg.Counter("router_replica_errors_total").Inc()
+			}
+		}(replica)
+	}
+	rt.proxy(w, r, owners[:1], raw, false)
+	wg.Wait()
+}
+
+// handleEvents routes POST /v1/datasets/{id}/events by the dataset id —
+// the same key uploads and reports route by, so an append always lands on
+// the shard holding the dataset it extends. Like uploads, the raw body is
+// replayed to the RF-1 replica successors (concurrently; failures counted,
+// not fatal) so replicas advance generation in step with the owner, and
+// the owner's response is the contract.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, rt.opts.MaxDatasetBytes)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		status, code := serve.UploadFailure(err)
+		rt.fail(w, r, status, code, err.Error())
+		return
+	}
+	id := r.PathValue("id")
+	owners := rt.ring.Owners(id, rt.opts.RF)
+	if len(owners) == 0 {
+		rt.fail(w, r, http.StatusServiceUnavailable, serve.CodeShardUnavailable, "no healthy shard")
+		return
+	}
 	var wg sync.WaitGroup
 	for _, replica := range owners[1:] {
 		wg.Add(1)

@@ -79,7 +79,7 @@ func newCluster(t *testing.T, opts ring.RouterOptions) *cluster {
 		c.shardURL[i] = ts.URL
 		c.shards[i] = serve.New(serve.Options{
 			Shard: ts.URL,
-			Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+			Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 				return results, nil
 			},
 		})

@@ -77,6 +77,8 @@ func RouteLabel(path string) string {
 		return "/v1/report/{section}"
 	case path == "/v1/datasets":
 		return "/v1/datasets"
+	case strings.HasPrefix(path, "/v1/datasets/") && strings.HasSuffix(path, "/events"):
+		return "/v1/datasets/{id}/events"
 	case strings.HasPrefix(path, "/v1/datasets/"):
 		return "/v1/datasets/{id}"
 	case path == "/v1/sections", path == "/v1/stages", path == "/healthz", path == "/metrics":

@@ -48,7 +48,7 @@ func accessServer(t *testing.T) (*httptest.Server, *logBuffer) {
 	srv := serve.New(serve.Options{
 		AccessLog: obs.NewJSONLogger(buf),
 		Metrics:   obs.NewRegistry(),
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return res, nil
 		},
 	})

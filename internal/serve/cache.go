@@ -23,18 +23,29 @@ import (
 )
 
 // Params keys one pipeline run: the corpus source (generate from Seed and
-// Scale, or load the uploaded dataset with content digest Dataset) plus
-// the analysis knobs (K, Models, Stages). Two requests with equal
-// canonical Params are the same run — the LRU and the coalescer both key
-// on Params.Key. Scheduler width (Options.Workers) is deliberately not
-// part of the key: results are bit-for-bit identical at any worker count.
+// Scale, or analyse the stored dataset Dataset at generation Generation)
+// plus the analysis knobs (K, Models, Stages) and the optional time
+// window (Window, AsOf). Two requests with equal canonical Params are the
+// same run — the LRU and the coalescer both key on Params.Key. Scheduler
+// width (Options.Workers) is deliberately not part of the key: results
+// are bit-for-bit identical at any worker count.
 type Params struct {
-	Seed    uint64
-	Scale   float64
-	K       int
-	Models  bool
-	Stages  []string
-	Dataset string // content digest of an uploaded dataset; "" = generate
+	Seed   uint64
+	Scale  float64
+	K      int
+	Models bool
+	Stages []string
+	// Dataset is the stable id (ds-…) of a stored dataset; "" = generate.
+	Dataset string
+	// Generation is the dataset's append generation at request time.
+	// Folding it into the key is what lets a hot windowed report stay
+	// cached exactly until an append actually changes the corpus: the
+	// next request after an append carries a new generation and misses.
+	Generation uint64
+	// Window ("30d", "90d", "era-to-date") and AsOf (YYYY-MM-DD) select a
+	// time-windowed view of the dataset; both empty means full history.
+	Window string
+	AsOf   string
 }
 
 // Canon returns p with the stage list sorted and deduplicated, so listing
@@ -86,6 +97,9 @@ func (p Params) Key() string {
 		put(0)
 	}
 	putStr(p.Dataset)
+	put(p.Generation)
+	putStr(p.Window)
+	putStr(p.AsOf)
 	put(uint64(len(p.Stages)))
 	for _, st := range p.Stages {
 		putStr(st)
@@ -106,10 +120,14 @@ const (
 	StatusCoalesced Status = "coalesced"
 )
 
-// RunFunc executes one pipeline run for the given parameters. The
-// production runner generates a corpus and runs the analysis suite; tests
-// substitute stubs to pin cache mechanics without pipeline cost.
-type RunFunc func(ctx context.Context, p Params) (*turnup.Results, error)
+// RunFunc executes one pipeline run for the given parameters. For
+// dataset-backed requests snap carries the resolved snapshot — the corpus
+// and its shared Index, pinned at request time so a concurrent DELETE or
+// LRU eviction cannot yank the data mid-run; it is nil for generated
+// corpora. The production runner generates or windows the corpus and runs
+// the analysis suite; tests substitute stubs to pin cache mechanics
+// without pipeline cost.
+type RunFunc func(ctx context.Context, p Params, snap *Snapshot) (*turnup.Results, error)
 
 // Cache is the deduplicating result cache. All three request outcomes are
 // counted in the registry (serve_cache_{hits,misses,coalesced}_total,
@@ -120,6 +138,7 @@ type Cache struct {
 	base   context.Context // run lifetime: cancelling it aborts in-flight runs
 	sem    chan struct{}   // caps concurrent pipeline runs
 	cap    int             // completed results retained
+	ttl    time.Duration   // max age a completed result is served (0 = forever)
 	reg    *obs.Registry
 
 	mu       sync.Mutex
@@ -128,10 +147,14 @@ type Cache struct {
 	inflight map[string]*flight       // Params.Key → running flight
 }
 
-// cacheEntry is one completed result in the LRU.
+// cacheEntry is one completed result in the LRU. The canonical Params are
+// retained so EvictWhere can match entries semantically (by dataset id or
+// generation) without reversing the hashed key.
 type cacheEntry struct {
 	key string
+	p   Params
 	res *turnup.Results
+	at  time.Time // completion time, the TTL anchor
 }
 
 // flight is one in-progress run; every coalesced waiter blocks on done,
@@ -145,8 +168,12 @@ type flight struct {
 // NewCache builds a cache over runner. base bounds the lifetime of every
 // run this cache starts (nil means background — runs are then only
 // bounded by completion); capacity is the number of completed results
-// retained (<=0 means 64); maxRuns caps concurrent runs (<=0 means 2).
-func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, reg *obs.Registry) *Cache {
+// retained (<=0 means 64); maxRuns caps concurrent runs (<=0 means 2);
+// ttl bounds how long a completed result is served before it is re-run
+// (<=0 means no age bound — generation keying already invalidates
+// dataset-backed results exactly, so the TTL is a belt-and-braces bound
+// for deployments that want one).
+func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, ttl time.Duration, reg *obs.Registry) *Cache {
 	if base == nil {
 		base = context.Background()
 	}
@@ -156,11 +183,15 @@ func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, reg *
 	if maxRuns <= 0 {
 		maxRuns = 2
 	}
+	if ttl < 0 {
+		ttl = 0
+	}
 	return &Cache{
 		runner:   runner,
 		base:     base,
 		sem:      make(chan struct{}, maxRuns),
 		cap:      capacity,
+		ttl:      ttl,
 		reg:      reg,
 		order:    list.New(),
 		byKey:    make(map[string]*list.Element),
@@ -168,24 +199,35 @@ func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, reg *
 	}
 }
 
-// Get returns the results for p: from the LRU when present, by joining an
-// identical in-flight run when one exists, and otherwise by starting the
-// pipeline (subject to the run semaphore). The run itself executes under
-// the cache's base context, not ctx — a caller whose ctx is cancelled
-// merely stops waiting while the run completes for the cache and any
-// other waiters; cancelling the base context (server shutdown) aborts the
-// run through the pipeline's context threading.
-func (c *Cache) Get(ctx context.Context, p Params) (*turnup.Results, Status, error) {
+// Get returns the results for p: from the LRU when present (and younger
+// than the TTL), by joining an identical in-flight run when one exists,
+// and otherwise by starting the pipeline (subject to the run semaphore).
+// snap is handed to the flight leader's runner; coalesced waiters' snaps
+// are interchangeable — an equal key pins an equal generation, hence the
+// same immutable snapshot. The run itself executes under the cache's base
+// context, not ctx — a caller whose ctx is cancelled merely stops waiting
+// while the run completes for the cache and any other waiters; cancelling
+// the base context (server shutdown) aborts the run through the
+// pipeline's context threading.
+func (c *Cache) Get(ctx context.Context, p Params, snap *Snapshot) (*turnup.Results, Status, error) {
 	p = p.Canon()
 	key := p.Key()
 
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
-		c.order.MoveToFront(el)
-		res := el.Value.(*cacheEntry).res
-		c.mu.Unlock()
-		c.reg.Counter("serve_cache_hits_total").Inc()
-		return res, StatusHit, nil
+		e := el.Value.(*cacheEntry)
+		if c.ttl > 0 && time.Since(e.at) > c.ttl {
+			// Expired: drop the entry and fall through to a fresh run.
+			delete(c.byKey, key)
+			c.order.Remove(el)
+			c.reg.Counter("serve_cache_expirations_total").Inc()
+		} else {
+			c.order.MoveToFront(el)
+			res := e.res
+			c.mu.Unlock()
+			c.reg.Counter("serve_cache_hits_total").Inc()
+			return res, StatusHit, nil
+		}
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
@@ -196,7 +238,7 @@ func (c *Cache) Get(ctx context.Context, p Params) (*turnup.Results, Status, err
 	c.inflight[key] = f
 	c.mu.Unlock()
 	c.reg.Counter("serve_cache_misses_total").Inc()
-	go c.run(key, p, f)
+	go c.run(key, p, snap, f)
 	return c.wait(ctx, f, StatusMiss)
 }
 
@@ -214,43 +256,43 @@ func (c *Cache) wait(ctx context.Context, f *flight, s Status) (*turnup.Results,
 // under the base context, publishes the outcome to every waiter, and
 // installs successful results into the LRU. Errors are not cached — the
 // next identical request retries.
-func (c *Cache) run(key string, p Params, f *flight) {
+func (c *Cache) run(key string, p Params, snap *Snapshot, f *flight) {
 	// A select between the semaphore and base.Done() chooses randomly when
 	// both are ready, so a run could launch after server shutdown; checking
 	// shutdown first (and again after acquiring a slot) closes that race.
 	if err := context.Cause(c.base); err != nil {
-		c.finish(key, f, nil, err)
+		c.finish(key, p, f, nil, err)
 		return
 	}
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.base.Done():
-		c.finish(key, f, nil, context.Cause(c.base))
+		c.finish(key, p, f, nil, context.Cause(c.base))
 		return
 	}
 	defer func() { <-c.sem }()
 	if err := context.Cause(c.base); err != nil {
-		c.finish(key, f, nil, err)
+		c.finish(key, p, f, nil, err)
 		return
 	}
 
 	c.reg.Gauge("serve_runs_inflight").Add(1)
 	start := time.Now()
-	res, err := c.runner(c.base, p)
+	res, err := c.runner(c.base, p, snap)
 	c.reg.Gauge("serve_runs_inflight").Add(-1)
 	c.reg.Histogram("serve_run_seconds").Observe(time.Since(start).Seconds())
 	c.reg.Counter("serve_runs_total").Inc()
-	c.finish(key, f, res, err)
+	c.finish(key, p, f, res, err)
 }
 
 // finish retires the flight: it leaves the in-flight table, a successful
 // result enters the LRU front (evicting beyond capacity from the back),
 // and done is closed to release every waiter.
-func (c *Cache) finish(key string, f *flight, res *turnup.Results, err error) {
+func (c *Cache) finish(key string, p Params, f *flight, res *turnup.Results, err error) {
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if err == nil {
-		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, p: p, res: res, at: time.Now()})
 		for c.order.Len() > c.cap {
 			back := c.order.Back()
 			delete(c.byKey, back.Value.(*cacheEntry).key)
@@ -261,6 +303,33 @@ func (c *Cache) finish(key string, f *flight, res *turnup.Results, err error) {
 	c.mu.Unlock()
 	f.res, f.err = res, err
 	close(f.done)
+}
+
+// EvictWhere drops every completed result whose canonical Params satisfy
+// pred, returning how many were dropped. It is the generation-staleness
+// hook: an append evicts results for older generations of its dataset,
+// and a DELETE (or store LRU eviction) evicts everything for the id — so
+// a later re-upload restarting at generation 1 can never alias a stale
+// (id, generation) entry onto fresh content. In-flight runs are
+// untouched; they complete against the immutable snapshot they hold.
+func (c *Cache) EvictWhere(pred func(Params) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if pred(e.p) {
+			delete(c.byKey, e.key)
+			c.order.Remove(el)
+			n++
+		}
+		el = next
+	}
+	if n > 0 {
+		c.reg.Counter("serve_cache_invalidations_total").Add(int64(n))
+	}
+	return n
 }
 
 // Len reports the number of completed results currently held.

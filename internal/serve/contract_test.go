@@ -28,7 +28,7 @@ func contractServer(t *testing.T) *httptest.Server {
 	srv := serve.New(serve.Options{
 		Shard:           "http://shard-a.test",
 		MaxDatasetBytes: 64,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return tinyResults(t), nil
 		},
 	})
@@ -87,6 +87,16 @@ func TestErrorEnvelopeContract(t *testing.T) {
 		{"bad seed", "GET", "/v1/report/growth?seed=abc", "", "", 400, serve.CodeBadParams},
 		{"bad stage", "GET", "/v1/report/growth?stages=Bogus", "", "", 400, serve.CodeBadParams},
 		{"unknown dataset report", "GET", "/v1/report/growth?dataset=ds-nope", "", "", 404, serve.CodeUnknownDataset},
+		{"window without dataset", "GET", "/v1/report/growth?window=30d", "", "", 400, serve.CodeBadParams},
+		{"as-of without dataset", "GET", "/v1/report/growth?as-of=2020-03-11", "", "", 400, serve.CodeBadParams},
+		{"bad window", "GET", "/v1/report/growth?dataset=ds-nope&window=monthly", "", "", 400, serve.CodeBadParams},
+		{"bad as-of", "GET", "/v1/report/growth?dataset=ds-nope&as-of=yesterday", "", "", 400, serve.CodeBadParams},
+		{"windowed unknown dataset", "GET", "/v1/report/growth?dataset=ds-nope&window=30d", "", "", 404, serve.CodeUnknownDataset},
+		{"events unknown dataset", "POST", "/v1/datasets/ds-nope/events", "application/x-ndjson", `{"kind":"user","id":7}`, 404, serve.CodeUnknownDataset},
+		{"events unsupported encoding", "POST", "/v1/datasets/ds-nope/events", "application/octet-stream", "x", 415, serve.CodeBadParams},
+		{"events malformed line", "POST", "/v1/datasets/ds-nope/events", "application/x-ndjson", "not json", 400, serve.CodeBadParams},
+		{"events empty batch", "POST", "/v1/datasets/ds-nope/events", "application/x-ndjson", "\n", 400, serve.CodeBadParams},
+		{"events oversized", "POST", "/v1/datasets/ds-nope/events", "application/x-ndjson", oversized, 413, serve.CodeDatasetTooLarge},
 		{"unknown dataset delete", "DELETE", "/v1/datasets/ds-nope", "", "", 404, serve.CodeUnknownDataset},
 		{"oversized upload", "POST", "/v1/datasets", "application/zip", oversized, 413, serve.CodeDatasetTooLarge},
 		{"unsupported upload encoding", "POST", "/v1/datasets", "text/csv", "a,b\n", 415, serve.CodeBadParams},
@@ -152,7 +162,7 @@ func TestShutdownErrorCode(t *testing.T) {
 	cancel() // already shutting down
 	srv := serve.New(serve.Options{
 		BaseContext: base,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return nil, ctx.Err()
 		},
 	})

@@ -4,6 +4,8 @@ import (
 	"archive/zip"
 	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +14,7 @@ import (
 	"sync"
 
 	"turnup"
+	"turnup/internal/ingest"
 	"turnup/internal/obs"
 )
 
@@ -27,6 +30,11 @@ type DatasetInfo struct {
 	Contracts int    `json:"contracts"`
 	Bytes     int64  `json:"bytes"`
 	Ledger    string `json:"ledger"` // "present" | "absent"
+	// Generation counts content versions of this id: 1 at upload, +1 per
+	// applied event batch. It keys the result cache (a report cached at
+	// generation g stays valid exactly until an append produces g+1) and
+	// is echoed on reports as X-Dataset-Generation.
+	Generation uint64 `json:"generation"`
 	// Shard is set only by the router's merged listing — the shard the
 	// dataset was found on. Single-shard listings leave it empty.
 	Shard string `json:"shard,omitempty"`
@@ -58,19 +66,45 @@ type Store struct {
 	maxCount int
 	maxBytes int64
 	reg      *obs.Registry
+	onDrop   func(id string) // fired (outside mu) when an id leaves the store
 
 	mu       sync.Mutex
 	bytes    int64
 	order    *list.List               // *storeEntry, front = most recently used
 	byID     map[string]*list.Element // DatasetInfo.ID → order element
-	byDigest map[string]*list.Element // full digest → order element
+	byDigest map[string]*list.Element // current digest → order element
 }
 
-// storeEntry is one stored dataset.
+// storeEntry is one stored dataset at its current generation: the corpus
+// snapshot plus the shared analysis Index built over it. Both are replaced
+// wholesale by Append (copy-on-write), never mutated, so a Snapshot handed
+// to an in-flight report run stays internally consistent forever. root is
+// the generation-1 content digest, kept addressable so re-uploading the
+// original bytes stays idempotent after appends have rolled info.Digest.
 type storeEntry struct {
 	info DatasetInfo
+	root string
 	d    *turnup.Dataset
+	ix   *turnup.Index
 }
+
+// Snapshot pins one dataset generation for the length of a report run:
+// the listing entry, the corpus, and its shared Index. handleReport
+// resolves it once and threads it to the runner, so a concurrent DELETE,
+// LRU eviction, or append can at worst retire the id from the store — the
+// run keeps its immutable snapshot and completes normally.
+type Snapshot struct {
+	Info DatasetInfo
+	D    *turnup.Dataset
+	Ix   *turnup.Index
+}
+
+// OnDrop registers fn to be called — outside the store lock — with the id
+// of every dataset that leaves the store, whether by DELETE or LRU
+// eviction. The server wires it to result-cache invalidation: once an id
+// is gone, a re-upload restarts generations at 1, and any cached results
+// for the old content would alias the new (id, generation) keys.
+func (s *Store) OnDrop(fn func(id string)) { s.onDrop = fn }
 
 // NewStore builds a dataset store retaining at most maxCount datasets and
 // maxBytes total canonical CSV bytes (<=0 means 16 datasets / 256 MiB).
@@ -100,6 +134,8 @@ func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err erro
 	if n > s.maxBytes {
 		return DatasetInfo{}, false, fmt.Errorf("dataset of %d canonical bytes exceeds the store bound of %d", n, s.maxBytes)
 	}
+	var dropped []string
+	defer func() { s.fireDrops(dropped) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.byDigest[digest]; ok {
@@ -115,14 +151,17 @@ func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err erro
 	sum := d.Summary()
 	e := &storeEntry{
 		info: DatasetInfo{
-			ID:        id,
-			Digest:    digest,
-			Users:     sum.Users,
-			Contracts: sum.Contracts,
-			Bytes:     n,
-			Ledger:    ledgerMarker(d),
+			ID:         id,
+			Digest:     digest,
+			Users:      sum.Users,
+			Contracts:  sum.Contracts,
+			Bytes:      n,
+			Ledger:     ledgerMarker(d),
+			Generation: 1,
 		},
-		d: d,
+		root: digest,
+		d:    d,
+		ix:   turnup.NewIndex(d),
 	}
 	el := s.order.PushFront(e)
 	s.byID[id] = el
@@ -130,24 +169,41 @@ func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err erro
 	s.bytes += n
 	s.reg.Counter("serve_datasets_uploads_total").Inc()
 	for s.order.Len() > s.maxCount || s.bytes > s.maxBytes {
-		s.evictBack()
+		dropped = append(dropped, s.evictBack())
 		s.reg.Counter("serve_datasets_evictions_total").Inc()
 	}
 	s.gauges()
 	return e.info, true, nil
 }
 
-// evictBack drops the least-recently-used dataset; callers hold mu.
-func (s *Store) evictBack() {
+// evictBack drops the least-recently-used dataset and returns its id;
+// callers hold mu.
+func (s *Store) evictBack() string {
 	back := s.order.Back()
 	if back == nil {
-		return
+		return ""
 	}
 	e := back.Value.(*storeEntry)
 	delete(s.byID, e.info.ID)
 	delete(s.byDigest, e.info.Digest)
+	delete(s.byDigest, e.root)
 	s.bytes -= e.info.Bytes
 	s.order.Remove(back)
+	return e.info.ID
+}
+
+// fireDrops invokes the drop callback for each departed id. Callers must
+// NOT hold mu: the callback reaches into the result cache, and holding
+// the store lock across it would order the two locks.
+func (s *Store) fireDrops(ids []string) {
+	if s.onDrop == nil {
+		return
+	}
+	for _, id := range ids {
+		if id != "" {
+			s.onDrop(id)
+		}
+	}
 }
 
 // gauges refreshes the count/byte gauges; callers hold mu.
@@ -182,6 +238,107 @@ func (s *Store) ByDigest(digest string) (*turnup.Dataset, bool) {
 	return el.Value.(*storeEntry).d, true
 }
 
+// Snapshot pins the dataset with the given id at its current generation,
+// refreshing its recency. The returned snapshot is immutable: appends
+// replace the entry's corpus and Index rather than mutating them, so the
+// holder can run a full analysis against it while the store moves on.
+func (s *Store) Snapshot(id string) (*Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	e := el.Value.(*storeEntry)
+	return &Snapshot{Info: e.info, D: e.d, Ix: e.ix}, true
+}
+
+// ErrUnknownDataset marks an operation naming an id the store does not
+// hold (never stored, deleted, or evicted).
+var ErrUnknownDataset = errors.New("unknown dataset")
+
+// ErrStoreFull marks an append whose canonical bytes would grow the store
+// past its byte bound — served as 413 dataset_too_large, like an
+// oversized upload.
+var ErrStoreFull = errors.New("dataset store byte bound exceeded")
+
+// Append applies a validated event batch to the dataset with the given
+// id, producing its next generation: a copy-on-write corpus extension, an
+// incrementally extended Index (falling back to a full rebuild when the
+// batch is out of creation order), and a rolling content digest
+// H(parentDigest ‖ batch CSV). The previous generation's snapshot remains
+// intact for any in-flight report run. Growth beyond the store's byte
+// bound answers an error naming the bound; the dataset itself is kept at
+// its previous generation.
+func (s *Store) Append(id string, b *ingest.Batch) (DatasetInfo, error) {
+	// Render the batch's canonical CSV outside the lock: it feeds both the
+	// rolling digest and the byte accounting.
+	var contractsCSV, usersCSV bytes.Buffer
+	if err := writeBatchCSV(&contractsCSV, &usersCSV, b); err != nil {
+		return DatasetInfo{}, err
+	}
+	grow := int64(contractsCSV.Len() + usersCSV.Len())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w %q", ErrUnknownDataset, id)
+	}
+	e := el.Value.(*storeEntry)
+	if err := b.ValidateAgainst(e.d); err != nil {
+		return DatasetInfo{}, err
+	}
+	if s.bytes+grow > s.maxBytes {
+		return DatasetInfo{}, fmt.Errorf("%w: append of %d canonical bytes exceeds the bound of %d", ErrStoreFull, grow, s.maxBytes)
+	}
+
+	nd := ingest.Apply(e.d, b)
+	h := sha256.New()
+	h.Write([]byte(e.info.Digest))
+	h.Write(contractsCSV.Bytes())
+	h.Write(usersCSV.Bytes())
+	digest := hex.EncodeToString(h.Sum(nil))
+
+	ne := &storeEntry{
+		info: e.info,
+		root: e.root,
+		d:    nd,
+		ix:   e.ix.Append(nd, b.Contracts),
+	}
+	ne.info.Digest = digest
+	ne.info.Users = len(nd.Users)
+	ne.info.Contracts = len(nd.Contracts)
+	ne.info.Bytes = e.info.Bytes + grow
+	ne.info.Generation = e.info.Generation + 1
+
+	// The root digest stays addressable so re-uploading the original
+	// bytes dedupes to this (now-later-generation) entry instead of
+	// colliding on the id.
+	if e.info.Digest != e.root {
+		delete(s.byDigest, e.info.Digest)
+	}
+	s.byDigest[digest] = el
+	el.Value = ne
+	s.order.MoveToFront(el)
+	s.bytes += grow
+	s.reg.Counter("serve_datasets_appends_total").Inc()
+	s.reg.Counter("serve_events_applied_total").Add(int64(b.Len()))
+	s.gauges()
+	return ne.info, nil
+}
+
+// writeBatchCSV renders the batch in the canonical hfgen CSV forms — the
+// byte stream the rolling digest commits to, so identical appends to
+// identical parents always produce identical digests.
+func writeBatchCSV(contracts, users *bytes.Buffer, b *ingest.Batch) error {
+	if err := ingest.WriteBatchContractsCSV(contracts, b.Contracts); err != nil {
+		return err
+	}
+	return ingest.WriteBatchUsersCSV(users, b.Users)
+}
+
 // List returns every stored dataset, most recently used first.
 func (s *Store) List() []DatasetInfo {
 	s.mu.Lock()
@@ -194,22 +351,26 @@ func (s *Store) List() []DatasetInfo {
 }
 
 // Delete removes the dataset with the given id, reporting whether it was
-// present. Cached report results keyed on its digest survive, but new
-// requests naming the id answer 404.
+// present. The drop callback then purges the id's cached report results —
+// a re-upload restarts at generation 1, and stale entries would alias its
+// keys. A report run already holding the snapshot completes normally.
 func (s *Store) Delete(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.byID[id]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	e := el.Value.(*storeEntry)
 	delete(s.byID, e.info.ID)
 	delete(s.byDigest, e.info.Digest)
+	delete(s.byDigest, e.root)
 	s.bytes -= e.info.Bytes
 	s.order.Remove(el)
 	s.reg.Counter("serve_datasets_deletes_total").Inc()
 	s.gauges()
+	s.mu.Unlock()
+	s.fireDrops([]string{id})
 	return true
 }
 

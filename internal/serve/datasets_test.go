@@ -238,7 +238,7 @@ func TestDatasetUploadErrors(t *testing.T) {
 	contracts, users := csvPair(t, d)
 	srv := serve.New(serve.Options{
 		MaxDatasetBytes: 4096,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			t.Error("pipeline ran for an invalid request")
 			return nil, nil
 		},
@@ -319,7 +319,7 @@ func TestDatasetStoreEvictionAndDedupe(t *testing.T) {
 	srv := serve.New(serve.Options{
 		MaxDatasets: 2,
 		Metrics:     reg,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return res, nil
 		},
 	})
@@ -362,7 +362,7 @@ func TestDatasetDelete(t *testing.T) {
 	d := tinyDataset(t)
 	contracts, users := csvPair(t, d)
 	srv := serve.New(serve.Options{
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			return tinyResults(t), nil
 		},
 	})

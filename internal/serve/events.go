@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"turnup/internal/ingest"
+)
+
+// eventsResponse is the JSON body of POST /v1/datasets/{id}/events: the
+// dataset's post-append listing entry (new generation, rolled digest,
+// updated counts) plus how many events the batch carried.
+type eventsResponse struct {
+	Meta
+	Dataset DatasetInfo `json:"dataset"`
+	Applied int         `json:"applied"`
+}
+
+// handleEvents serves POST /v1/datasets/{id}/events: decode the event
+// batch (JSON lines or contract CSV rows, bounded like an upload),
+// validate it against the stored dataset, and apply it copy-on-write as
+// the dataset's next generation. A successful append then drops every
+// cached report for an older generation of this id — the cache-coherence
+// half of the ingest contract: reports stay cached exactly until the
+// corpus actually changes. Appends are all-or-nothing: any bad event
+// fails the whole batch with 400 bad_params and the dataset stays at its
+// previous generation.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Read the bounded body up front so an oversized batch is always 413,
+	// even when the cap truncates it into something that also fails to
+	// parse — the size error is the actionable one.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxDatasetBytes)
+	raw, err := io.ReadAll(r.Body)
+	if err == nil {
+		var b *ingest.Batch
+		if b, err = ingest.DecodeBatch(r.Header.Get("Content-Type"), bytes.NewReader(raw)); err == nil {
+			s.applyEvents(w, r, id, b)
+			return
+		}
+	}
+	status, code := eventsFailure(err)
+	s.fail(w, r, status, code, err)
+}
+
+// applyEvents validates and applies a decoded batch, then invalidates the
+// superseded cache generations.
+func (s *Server) applyEvents(w http.ResponseWriter, r *http.Request, id string, b *ingest.Batch) {
+	if b.Len() == 0 {
+		s.fail(w, r, http.StatusBadRequest, CodeBadParams, errors.New("empty event batch: no user or contract events decoded"))
+		return
+	}
+	info, err := s.datasets.Append(id, b)
+	if err != nil {
+		status, code := http.StatusBadRequest, CodeBadParams
+		switch {
+		case errors.Is(err, ErrUnknownDataset):
+			status, code = http.StatusNotFound, CodeUnknownDataset
+		case errors.Is(err, ErrStoreFull):
+			status, code = http.StatusRequestEntityTooLarge, CodeDatasetTooLarge
+		}
+		s.fail(w, r, status, code, err)
+		return
+	}
+	// Invalidate superseded generations only; the new generation's entries
+	// (none yet, but coalesced runs may land soon) are untouched, and other
+	// datasets' results are untouched.
+	s.cache.EvictWhere(func(p Params) bool {
+		return p.Dataset == id && p.Generation < info.Generation
+	})
+	w.Header().Set("X-Dataset-Generation", strconv.FormatUint(info.Generation, 10))
+	writeJSON(w, http.StatusOK, eventsResponse{Meta: s.meta(r), Dataset: info, Applied: b.Len()})
+}
+
+// eventsFailure maps a DecodeBatch error onto its HTTP status and API v1
+// error code, mirroring UploadFailure: oversized bodies are 413
+// dataset_too_large, unsupported encodings 415, malformed events 400.
+func eventsFailure(err error) (status int, code string) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, CodeDatasetTooLarge
+	case errors.Is(err, ingest.ErrUnsupportedEvents):
+		return http.StatusUnsupportedMediaType, CodeBadParams
+	default:
+		return http.StatusBadRequest, CodeBadParams
+	}
+}

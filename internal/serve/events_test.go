@@ -1,0 +1,343 @@
+// Tests for the live-ingest subsystem: POST /v1/datasets/{id}/events
+// appends, generation-keyed cache invalidation (the X-Cache regression
+// the acceptance criteria pin: a windowed report stays a hit exactly
+// until an append bumps the generation), windowed reports matching a
+// local ingest.Window analysis byte-for-byte, the store's append /
+// snapshot / root-digest mechanics, and the DELETE-during-run race fix.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"turnup"
+	"turnup/internal/dataset"
+	"turnup/internal/forum"
+	"turnup/internal/ingest"
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+// eventsNDJSON is a valid two-event batch against the shared tiny corpus:
+// one fresh user and one contract pairing them with existing user 1.
+const eventsNDJSON = `{"kind":"user","id":900001,"joined":"2020-06-10T00:00:00Z","first_post":"2020-06-10T01:00:00Z","posts":3,"marketplace_posts":2,"reputation":1}
+{"kind":"contract","id":900001,"type":"EXCHANGE","maker":900001,"taker":1,"thread":1,"created":"2020-06-15T00:00:00Z","decided":"2020-06-15T01:00:00Z","completed":"2020-06-15T02:00:00Z","status":"Complete","public":true,"maker_obligation":"0.05 btc","taker_obligation":"paypal transfer","maker_rating":1,"taker_rating":1}
+`
+
+// postEvents POSTs an NDJSON batch and decodes the enveloped response.
+func postEvents(t *testing.T, baseURL, id, body string) (int, serve.DatasetInfo, int) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/datasets/"+id+"/events", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Dataset serve.DatasetInfo `json:"dataset"`
+		Applied int               `json:"applied"`
+	}
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("X-Dataset-Generation"); got != fmt.Sprint(out.Dataset.Generation) {
+			t.Fatalf("append X-Dataset-Generation=%q, body generation=%d", got, out.Dataset.Generation)
+		}
+	}
+	return resp.StatusCode, out.Dataset, out.Applied
+}
+
+// getGen issues a GET and returns (status, X-Cache, X-Dataset-Generation).
+func getGen(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Dataset-Generation")
+}
+
+// TestEventsGenerationInvalidatesCache is the acceptance regression: a
+// windowed dataset report is a miss, then a hit, stays a hit across
+// unrelated traffic, and becomes a miss exactly when an append bumps the
+// dataset's generation — then a hit again at the new generation.
+func TestEventsGenerationInvalidatesCache(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	res := tinyResults(t)
+	var runs atomic.Int64
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Options{
+		Metrics: reg,
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
+			runs.Add(1)
+			return res, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code=%d, want 201", code)
+	}
+	if info.Generation != 1 {
+		t.Fatalf("fresh upload generation=%d, want 1", info.Generation)
+	}
+
+	url := fmt.Sprintf("%s/v1/report/growth?dataset=%s&window=30d&models=false", ts.URL, info.ID)
+	if code, cache, gen := getGen(t, url); code != 200 || cache != "miss" || gen != "1" {
+		t.Fatalf("cold windowed report: code=%d cache=%q gen=%q, want 200 miss 1", code, cache, gen)
+	}
+	if code, cache, gen := getGen(t, url); code != 200 || cache != "hit" || gen != "1" {
+		t.Fatalf("repeat windowed report: code=%d cache=%q gen=%q, want 200 hit 1", code, cache, gen)
+	}
+
+	code, ninfo, applied := postEvents(t, ts.URL, info.ID, eventsNDJSON)
+	if code != http.StatusOK || applied != 2 {
+		t.Fatalf("append code=%d applied=%d, want 200 2", code, applied)
+	}
+	if ninfo.Generation != 2 || ninfo.ID != info.ID {
+		t.Fatalf("append info id=%s generation=%d, want %s generation 2", ninfo.ID, ninfo.Generation, info.ID)
+	}
+	if ninfo.Digest == info.Digest {
+		t.Fatal("append did not roll the content digest")
+	}
+	if ninfo.Users != info.Users+1 || ninfo.Contracts != info.Contracts+1 {
+		t.Fatalf("append counts %d/%d, want %d/%d", ninfo.Users, ninfo.Contracts, info.Users+1, info.Contracts+1)
+	}
+
+	if code, cache, gen := getGen(t, url); code != 200 || cache != "miss" || gen != "2" {
+		t.Fatalf("post-append report: code=%d cache=%q gen=%q, want 200 miss 2 (stale generation served?)", code, cache, gen)
+	}
+	if code, cache, gen := getGen(t, url); code != 200 || cache != "hit" || gen != "2" {
+		t.Fatalf("post-append repeat: code=%d cache=%q gen=%q, want 200 hit 2", code, cache, gen)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("pipeline ran %d times, want 2 (one per generation)", n)
+	}
+
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"serve_datasets_appends_total 1",
+		"serve_events_applied_total 2",
+		"serve_cache_invalidations_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestEventsWindowedReportEndToEnd runs the real pipeline: a windowed
+// dataset report must render exactly what a local ingest.Window +
+// analysis over the same CSV pair renders.
+func TestEventsWindowedReportEndToEnd(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code=%d, want 201", code)
+	}
+
+	loaded, err := turnup.ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := ingest.Window(loaded, "era-to-date", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := turnup.Run(wd, turnup.RunOptions{Seed: 5, SkipModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := turnup.Render(&want, res, "growth"); err != nil {
+		t.Fatal(err)
+	}
+
+	url := fmt.Sprintf("%s/v1/report/growth?dataset=%s&window=era-to-date&seed=5&models=false", ts.URL, info.ID)
+	code, _, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("windowed report code=%d (body %q)", code, body)
+	}
+	if body != want.String() {
+		t.Fatalf("served windowed report differs from local windowed analysis:\nserved:\n%s\nlocal:\n%s", body, want.String())
+	}
+
+	// An empty window is a client error, not a suite failure.
+	code, _, body = get(t, fmt.Sprintf("%s/v1/report/growth?dataset=%s&window=1d&as-of=2018-06-01&models=false", ts.URL, info.ID))
+	if code != http.StatusBadRequest || !strings.Contains(body, "no contracts") {
+		t.Fatalf("empty window: code=%d body=%q, want 400 naming the empty selection", code, body)
+	}
+}
+
+// TestStoreAppendSnapshotAndRootDigest covers the store mechanics under
+// an append: old snapshots stay intact (copy-on-write), the rolling
+// digest keys the new generation, and re-uploading the original bytes
+// still dedupes to the live entry instead of colliding on the id.
+func TestStoreAppendSnapshotAndRootDigest(t *testing.T) {
+	d := tinyDataset(t)
+	reg := obs.NewRegistry()
+	st := serve.NewStore(4, 0, reg)
+	info, created, err := st.Add(d)
+	if err != nil || !created {
+		t.Fatalf("Add: created=%t err=%v", created, err)
+	}
+
+	pinned, ok := st.Snapshot(info.ID)
+	if !ok {
+		t.Fatal("Snapshot(stored id) not found")
+	}
+	before := len(pinned.D.Contracts)
+
+	batch := &ingest.Batch{
+		Users: []*forum.User{{ID: 900001, Joined: dataset.CovidStart}},
+		Contracts: []*forum.Contract{{
+			ID: 900001, Type: forum.Exchange, Maker: 900001, Taker: 1, Thread: 1,
+			Created: dataset.CovidStart.Add(24 * time.Hour), Completed: dataset.CovidStart.Add(25 * time.Hour),
+			Status: forum.StatusCompleted, Public: true,
+			MakerObligation: "btc", TakerObligation: "paypal",
+		}},
+	}
+	ninfo, err := st.Append(info.ID, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ninfo.Generation != 2 || ninfo.Digest == info.Digest || ninfo.Bytes <= info.Bytes {
+		t.Fatalf("append info = %+v (parent %+v)", ninfo, info)
+	}
+	if len(pinned.D.Contracts) != before || pinned.Info.Generation != 1 {
+		t.Fatal("append mutated a previously pinned snapshot")
+	}
+	cur, ok := st.Snapshot(info.ID)
+	if !ok || len(cur.D.Contracts) != before+1 || cur.Info.Generation != 2 {
+		t.Fatalf("current snapshot generation=%d contracts=%d, want 2/%d", cur.Info.Generation, len(cur.D.Contracts), before+1)
+	}
+	if _, ok := cur.D.Users[900001]; !ok {
+		t.Fatal("current snapshot missing the appended user")
+	}
+
+	// Identical appends to identical parents roll to identical digests —
+	// but applying the same batch twice must fail validation (dup ids).
+	if _, err := st.Append(info.ID, batch); err == nil {
+		t.Fatal("re-applying the same batch validated; duplicate ids must fail")
+	}
+
+	// The generation-1 digest remains addressable: re-uploading the
+	// original corpus dedupes onto the live generation-2 entry.
+	again, created, err := st.Add(d)
+	if err != nil {
+		t.Fatalf("re-upload after append: %v", err)
+	}
+	if created || again.ID != info.ID || again.Generation != 2 {
+		t.Fatalf("re-upload created=%t id=%s generation=%d, want dedupe onto %s generation 2", created, again.ID, again.Generation, info.ID)
+	}
+
+	if _, err := st.Append("ds-nope", batch); err == nil {
+		t.Fatal("append to unknown id succeeded")
+	}
+
+	// A store with no byte headroom refuses the append and keeps the
+	// dataset at its previous generation.
+	_, n := d.Digest()
+	small := serve.NewStore(4, n+8, obs.NewRegistry())
+	sinfo, _, err := small.Add(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Append(sinfo.ID, batch); err == nil {
+		t.Fatal("append past the byte bound succeeded")
+	}
+	if snap, _ := small.Snapshot(sinfo.ID); snap.Info.Generation != 1 {
+		t.Fatalf("failed append moved generation to %d", snap.Info.Generation)
+	}
+}
+
+// TestDeleteDuringReportRun is the race regression: a DELETE landing
+// while a report run over that dataset is in flight must not fail the
+// run — the snapshot was pinned at admission — and must leave no cached
+// result behind for the retired id.
+func TestDeleteDuringReportRun(t *testing.T) {
+	d := tinyDataset(t)
+	contracts, users := csvPair(t, d)
+	res := tinyResults(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := serve.New(serve.Options{
+		Runner: func(ctx context.Context, p serve.Params, snap *serve.Snapshot) (*turnup.Results, error) {
+			if p.Dataset != "" && snap == nil {
+				return nil, fmt.Errorf("dataset run admitted without a pinned snapshot")
+			}
+			close(started)
+			<-release
+			return res, nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, info := upload(t, ts.URL, contracts, users)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code=%d, want 201", code)
+	}
+
+	url := fmt.Sprintf("%s/v1/report/growth?dataset=%s&models=false", ts.URL, info.ID)
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		code, _, _, err := tryGet(url)
+		done <- result{code, err}
+	}()
+
+	<-started // the run is in flight, holding its snapshot
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE mid-run code=%d, want 204", resp.StatusCode)
+	}
+	close(release)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight report after DELETE: code=%d, want 200 (snapshot should outlive the store entry)", r.code)
+	}
+
+	// The id is gone: later reports 404, and nothing cached for it survives
+	// (the completed run's entry was purged by the drop hook or never lands
+	// as servable — either way a fresh upload restarts clean at miss).
+	if code, _, _ := getGen(t, url); code != http.StatusNotFound {
+		t.Fatalf("report after DELETE completed: code=%d, want 404", code)
+	}
+	code2, info2 := upload(t, ts.URL, contracts, users)
+	if code2 != http.StatusCreated || info2.Generation != 1 {
+		t.Fatalf("re-upload after DELETE: code=%d generation=%d, want 201 generation 1", code2, info2.Generation)
+	}
+}

@@ -85,13 +85,13 @@ func TestCancelledBaseNeverLaunchesRun(t *testing.T) {
 	base, cancel := context.WithCancel(context.Background())
 	cancel()
 	var launched atomic.Int64
-	c := serve.NewCache(base, func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+	c := serve.NewCache(base, func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 		launched.Add(1)
 		return nil, nil
-	}, 8, 4, obs.NewRegistry())
+	}, 8, 4, 0, obs.NewRegistry())
 
 	for i := 0; i < 200; i++ {
-		_, _, err := c.Get(context.Background(), serve.Params{Seed: uint64(i)})
+		_, _, err := c.Get(context.Background(), serve.Params{Seed: uint64(i)}, nil)
 		if err == nil {
 			t.Fatal("request succeeded after shutdown")
 		}

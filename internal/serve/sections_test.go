@@ -25,7 +25,7 @@ func TestSectionRequestRunsMinimalStages(t *testing.T) {
 		runs [][]string
 	)
 	srv := serve.New(serve.Options{
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			mu.Lock()
 			runs = append(runs, append([]string(nil), p.Stages...))
 			mu.Unlock()

@@ -80,7 +80,7 @@ func TestColdRunThenCacheHit(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Options{
 		Metrics: reg,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			runs.Add(1)
 			return res, nil
 		},
@@ -127,7 +127,7 @@ func TestConcurrentRequestsCoalesce(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Options{
 		Metrics: reg,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			runs.Add(1)
 			once.Do(func() { close(started) })
 			<-release
@@ -186,7 +186,7 @@ func TestLRUEviction(t *testing.T) {
 	srv := serve.New(serve.Options{
 		CacheSize: 2,
 		Metrics:   reg,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			mu.Lock()
 			runsBySeed[p.Seed]++
 			mu.Unlock()
@@ -221,7 +221,7 @@ func TestLRUEviction(t *testing.T) {
 func TestBadParamsReturn400(t *testing.T) {
 	srv := serve.New(serve.Options{
 		MaxScale: 0.1,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			t.Error("pipeline ran for an invalid request")
 			return nil, nil
 		},
@@ -273,7 +273,7 @@ func TestShutdownCancelsInflightRun(t *testing.T) {
 	started := make(chan struct{})
 	srv := serve.New(serve.Options{
 		BaseContext: base,
-		Runner: func(ctx context.Context, p serve.Params) (*turnup.Results, error) {
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			close(started)
 			<-ctx.Done() // a real run observes cancellation between months/stages
 			return nil, ctx.Err()

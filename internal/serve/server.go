@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"turnup"
+	"turnup/internal/ingest"
 	"turnup/internal/obs"
 	"turnup/internal/version"
 )
@@ -22,6 +23,11 @@ type Options struct {
 	CacheSize int // completed results retained in the LRU (default 64)
 	MaxRuns   int // concurrent pipeline runs (default 2); hits bypass this cap
 	Workers   int // analysis stages per run; 0 = GOMAXPROCS (not part of the cache key)
+	// CacheTTL bounds how long a completed result is served before it is
+	// recomputed (0 = forever). Generation keying already invalidates
+	// dataset-backed results exactly when an append lands; the TTL is an
+	// additional age bound for deployments that want one.
+	CacheTTL time.Duration
 
 	MaxScale     float64 // largest accepted ?scale= (default 1.0, the paper-sized corpus)
 	DefaultScale float64 // ?scale= default (default 0.05)
@@ -102,7 +108,14 @@ func New(opts Options) *Server {
 	if runner == nil {
 		runner = s.pipelineRunner(opts.Workers)
 	}
-	s.cache = NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.Metrics)
+	s.cache = NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.CacheTTL, opts.Metrics)
+	// When a dataset id leaves the store (DELETE or LRU eviction), purge
+	// its cached report results: a later re-upload under the same id
+	// restarts generations at 1, and surviving entries would alias the new
+	// content's (id, generation) cache keys.
+	s.datasets.OnDrop(func(id string) {
+		s.cache.EvictWhere(func(p Params) bool { return p.Dataset == id })
+	})
 	// The constant-1 build-info gauge is the Prometheus idiom for joining
 	// any other metric to the build that produced it.
 	s.reg.Gauge(fmt.Sprintf(`turnup_build_info{version=%q}`, version.String())).Set(1)
@@ -116,6 +129,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	if opts.Pprof {
@@ -129,17 +143,28 @@ func New(opts Options) *Server {
 }
 
 // pipelineRunner is the production RunFunc: obtain the corpus — generate
-// it for (Seed, Scale), or load the uploaded dataset whose content digest
-// is Params.Dataset — then run the analysis suite. Both halves honour
-// ctx, so cancelling the server's base context aborts a run between
-// simulated months or between analysis stages.
+// it for (Seed, Scale), or take the dataset snapshot handleReport pinned
+// at request time (optionally narrowed to its ?window=/?as-of= view) —
+// then run the analysis suite. Both halves honour ctx, so cancelling the
+// server's base context aborts a run between simulated months or between
+// analysis stages. Full-history dataset runs reuse the store's
+// incrementally maintained Index; windowed views derive their own (the
+// window changes corpus membership, not just its suffix).
 func (s *Server) pipelineRunner(workers int) RunFunc {
-	return func(ctx context.Context, p Params) (*turnup.Results, error) {
+	return func(ctx context.Context, p Params, snap *Snapshot) (*turnup.Results, error) {
 		var d *turnup.Dataset
+		var ix *turnup.Index
 		if p.Dataset != "" {
-			var ok bool
-			if d, ok = s.datasets.ByDigest(p.Dataset); !ok {
-				return nil, fmt.Errorf("dataset %.16s… is no longer stored (deleted or evicted)", p.Dataset)
+			if snap == nil {
+				return nil, fmt.Errorf("dataset %s has no pinned snapshot", p.Dataset)
+			}
+			d, ix = snap.D, snap.Ix
+			if p.Window != "" || p.AsOf != "" {
+				wd, err := ingest.Window(d, p.Window, p.AsOf)
+				if err != nil {
+					return nil, err
+				}
+				d, ix = wd, nil
 			}
 		} else {
 			var err error
@@ -153,6 +178,7 @@ func (s *Server) pipelineRunner(workers int) RunFunc {
 			SkipModels:   !p.Models,
 			Workers:      workers,
 			Stages:       p.Stages,
+			Index:        ix,
 		})
 	}
 }
@@ -278,26 +304,39 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var ledger string
+	var snap *Snapshot
 	if id := r.URL.Query().Get("dataset"); id != "" {
 		if r.URL.Query().Get("scale") != "" {
 			s.fail(w, r, http.StatusBadRequest, CodeBadParams,
 				errors.New("scale cannot be combined with dataset: uploaded corpora are fixed, scale only parameterises generation"))
 			return
 		}
-		info, ok := s.datasets.Info(id)
+		// Pin the dataset snapshot (corpus + shared Index + generation)
+		// here, before entering the cache: the run then owns immutable
+		// data, so a concurrent DELETE, LRU eviction, or append cannot
+		// fail a report already admitted.
+		var ok bool
+		snap, ok = s.datasets.Snapshot(id)
 		if !ok {
 			s.fail(w, r, http.StatusNotFound, CodeUnknownDataset, fmt.Errorf("unknown dataset %q (see GET /v1/datasets)", id))
 			return
 		}
-		p.Dataset = info.Digest
-		ledger = info.Ledger
-		// The report header carries the explicit §4.5 marker: "absent"
+		p.Dataset = snap.Info.ID
+		p.Generation = snap.Info.Generation
+		ledger = snap.Info.Ledger
+		// The report headers carry the explicit §4.5 marker ("absent"
 		// means the audit could not verify high-value contracts because
-		// the uploaded corpus has no ledger.
+		// the uploaded corpus has no ledger) and the generation this
+		// report is computed at.
 		w.Header().Set("X-Dataset-Ledger", ledger)
+		w.Header().Set("X-Dataset-Generation", strconv.FormatUint(snap.Info.Generation, 10))
 	}
-	res, status, err := s.cache.Get(r.Context(), p)
+	res, status, err := s.cache.Get(r.Context(), p, snap)
 	if err != nil {
+		if errors.Is(err, ingest.ErrEmptyWindow) {
+			s.fail(w, r, http.StatusBadRequest, CodeBadParams, err)
+			return
+		}
 		// Cancellation means shutdown (base context) or a vanished client
 		// (request context); neither is a server fault — and it is the
 		// one failure a router should retry on a sibling shard.
@@ -366,6 +405,16 @@ func (s *Server) parseParams(r *http.Request) (Params, error) {
 			if s.modelStage[st] {
 				return p, fmt.Errorf("stage %q is a model stage and unavailable with models=false", st)
 			}
+		}
+	}
+	p.Window = q.Get("window")
+	p.AsOf = q.Get("as-of")
+	if p.Window != "" || p.AsOf != "" {
+		if q.Get("dataset") == "" {
+			return p, errors.New("window and as-of require ?dataset=: generated corpora are identified by seed and scale, not by time")
+		}
+		if err := ingest.ValidateWindow(p.Window, p.AsOf); err != nil {
+			return p, err
 		}
 	}
 	return p, nil

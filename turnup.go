@@ -58,6 +58,17 @@ type Truth = market.Truth
 // Results bundles every reproduced table and figure.
 type Results = analysis.Suite
 
+// Index is the shared, lazily materialised view of one dataset that every
+// analysis stage reads (month buckets, era membership, the obligation
+// classification table). The serving tier keeps one per stored dataset and
+// extends it incrementally as events are appended (see internal/analysis).
+type Index = analysis.Index
+
+// NewIndex wraps a dataset; nothing is computed until a group is first
+// requested. Pass it back through RunOptions.Index to share derived
+// groupings across runs over the same dataset.
+func NewIndex(d *Dataset) *Index { return analysis.NewIndex(d) }
+
 // Generate simulates a marketplace corpus.
 func Generate(cfg Config) (*Dataset, error) {
 	return GenerateCtx(context.Background(), cfg)
@@ -113,6 +124,11 @@ type RunOptions struct {
 	// declared DAG); each requested stage's transitive dependencies are
 	// added automatically. Empty means every stage.
 	Stages []string
+	// Index, when non-nil and wrapping the same dataset passed to Run, is
+	// reused instead of deriving fresh groupings — the serving tier's
+	// incremental-ingest fast path. An Index over a different dataset is
+	// ignored.
+	Index *Index
 
 	// Trace, when non-nil, records one span per analysis stage.
 	Trace *Tracer
@@ -137,6 +153,7 @@ func RunCtx(ctx context.Context, d *Dataset, opts RunOptions) (*Results, error) 
 		SkipModels:   opts.SkipModels,
 		Workers:      opts.Workers,
 		Stages:       opts.Stages,
+		Index:        opts.Index,
 		Trace:        opts.Trace,
 		Metrics:      opts.Metrics,
 		Progress:     opts.Progress,
