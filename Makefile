@@ -6,6 +6,7 @@
 #   make bench-parallel  # sequential-vs-parallel suite → BENCH_parallel.json
 #   make bench-index     # index/memoisation benchmarks → BENCH_index.json
 #   make bench-smoke     # fail if the suite regresses >2x vs BENCH_index.json
+#   make bench-columnar  # columnar-core benchmarks → BENCH_columnar.json + alloc gate
 #   make bench-serve     # cache-hit vs cold-request latency
 #   make bench-load      # hfload run against a booted hfserved → BENCH_serve_load.json
 #   make bench-load-router # hfload run through hfrouter over 2 shards → BENCH_router_load.json
@@ -14,7 +15,7 @@
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-serve bench-load bench-load-router router-smoke ingest-smoke serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-columnar bench-serve bench-load bench-load-router router-smoke ingest-smoke serve
 
 # Benchmarks that claim parallel speedups must run at full machine width;
 # an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
@@ -88,6 +89,29 @@ bench-smoke:
 	  if (now == "" || snap == "") { print "bench-smoke: missing measurement or snapshot"; exit 1 } \
 	  if (now + 0 > 2 * snap) { printf("bench-smoke: FAIL %.0f ns/op is >2x the %.0f snapshot\n", now, snap); exit 1 } \
 	  printf("bench-smoke: ok %.0f ns/op (%.2fx of the %.0f snapshot)\n", now, now / snap, snap) }'
+
+# Records the columnar-core benchmarks — the descriptive suite over the
+# dataset-cached groups plus the binary-vs-CSV load pair — into
+# BENCH_columnar.json, then gates against BENCH_index.json: the refactor
+# must at least halve the suite's allocs/op and must not exceed 2x its
+# ns/op snapshot. Regenerate the snapshot (same machine class) when a hot
+# path intentionally changes.
+bench-columnar:
+	GOMAXPROCS=$(NPROC) go test -run '^$$' -benchtime 3x -benchmem . \
+	  -bench 'SuiteDescriptive$$|DatasetBinaryLoad|DatasetCSVLoad' \
+	| awk $(BENCH_JSON_AWK) \
+	> BENCH_columnar.json
+	@echo "wrote BENCH_columnar.json (gomaxprocs $(NPROC))"
+	@snapns=$$(awk '/"BenchmarkSuiteDescriptive"/ { match($$0, /"ns_per_op": [0-9.]+/); print substr($$0, RSTART + 13, RLENGTH - 13) }' BENCH_index.json); \
+	snapalloc=$$(awk '/"BenchmarkSuiteDescriptive"/ { match($$0, /"allocs_per_op": [0-9.]+/); print substr($$0, RSTART + 17, RLENGTH - 17) }' BENCH_index.json); \
+	nowns=$$(awk '/"BenchmarkSuiteDescriptive"/ { match($$0, /"ns_per_op": [0-9.]+/); print substr($$0, RSTART + 13, RLENGTH - 13) }' BENCH_columnar.json); \
+	nowalloc=$$(awk '/"BenchmarkSuiteDescriptive"/ { match($$0, /"allocs_per_op": [0-9.]+/); print substr($$0, RSTART + 17, RLENGTH - 17) }' BENCH_columnar.json); \
+	awk -v nowns="$$nowns" -v snapns="$$snapns" -v nowalloc="$$nowalloc" -v snapalloc="$$snapalloc" 'BEGIN { \
+	  if (nowns == "" || snapns == "" || nowalloc == "" || snapalloc == "") { print "bench-columnar: missing measurement or snapshot"; exit 1 } \
+	  if (nowalloc + 0 > snapalloc / 2) { printf("bench-columnar: FAIL %.0f allocs/op is not a 2x drop from the %.0f snapshot\n", nowalloc, snapalloc); exit 1 } \
+	  if (nowns + 0 > 2 * snapns) { printf("bench-columnar: FAIL %.0f ns/op is >2x the %.0f snapshot\n", nowns, snapns); exit 1 } \
+	  printf("bench-columnar: ok %.0f allocs/op (%.2fx of %.0f), %.0f ns/op (%.2fx of %.0f)\n", \
+	    nowalloc, nowalloc / snapalloc, snapalloc, nowns, nowns / snapns, snapns) }'
 
 # Cache-hit vs cold-request latency for the HTTP analysis service; the
 # gap is the result cache's value proposition (see DESIGN.md §3.3).

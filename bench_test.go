@@ -8,6 +8,9 @@
 package turnup
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -462,6 +465,67 @@ func BenchmarkIndexObligationBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ix := analysis.NewIndex(d)
 		ix.MakerCategories(ix.CompletedPublic()[0])
+	}
+}
+
+// ---- Columnar dataset format (dataset.bin vs the CSV pair) ----
+//
+// The bench-columnar Makefile target records this pair next to
+// BenchmarkSuiteDescriptive in BENCH_columnar.json: the load cost of the
+// binary format LoadDir now prefers against re-parsing the canonical CSV
+// pair it replaced on the hot path.
+
+func benchSavedCorpus(b *testing.B) string {
+	b.Helper()
+	d := benchCorpus(b)
+	dir := b.TempDir()
+	if err := Save(d, dir); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkDatasetBinaryLoad measures decoding dataset.bin — the store's
+// replication payload and LoadDir's preferred path.
+func BenchmarkDatasetBinaryLoad(b *testing.B) {
+	dir := benchSavedCorpus(b)
+	raw, err := os.ReadFile(filepath.Join(dir, "dataset.bin"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Contracts) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkDatasetCSVLoad measures parsing the same corpus from its CSV
+// pair — the fallback (and upload) path the binary format bypasses.
+func BenchmarkDatasetCSVLoad(b *testing.B) {
+	dir := benchSavedCorpus(b)
+	contracts, err := os.ReadFile(filepath.Join(dir, "contracts.csv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	users, err := os.ReadFile(filepath.Join(dir, "users.csv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ReadCSV(bytes.NewReader(contracts), bytes.NewReader(users))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Contracts) == 0 {
+			b.Fatal("empty corpus")
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 // Command hfgen generates a synthetic HACK FORUMS marketplace dataset and
-// writes it to a directory as CSV (contracts.csv, users.csv).
+// writes it to a directory: the interchange CSV pair (contracts.csv,
+// users.csv) plus the columnar binary form (dataset.bin) that hfanalyze,
+// hfserved, and hfrepro load preferentially.
 //
 // Usage:
 //

@@ -76,26 +76,30 @@ func userCurve(cs []*forum.Contract) ConcentrationCurve {
 		return ranked[i].id < ranked[j].id
 	})
 
-	// Walk the ranking, incrementally counting contracts covered by the
-	// prefix. A contract is covered once either party enters the prefix.
-	byUser := map[forum.UserID][]int{}
-	for i, c := range cs {
-		byUser[c.Maker] = append(byUser[c.Maker], i)
-		byUser[c.Taker] = append(byUser[c.Taker], i)
+	// A contract is covered once either party enters the ranking prefix —
+	// i.e. at the smaller of its two parties' ranks. Histogram contracts
+	// by that rank and prefix-sum, instead of materialising a per-user
+	// contract-index multimap. The counts map is reused as the rank table
+	// (every ranked user is a counts key, and counts are no longer needed).
+	rankOf := counts
+	for i, e := range ranked {
+		rankOf[e.id] = i
 	}
-	coveredContract := make([]bool, len(cs))
+	coveredAt := make([]int, len(ranked))
+	for _, c := range cs {
+		r := rankOf[c.Maker]
+		if tr := rankOf[c.Taker]; tr < r {
+			r = tr
+		}
+		coveredAt[r]++
+	}
 	covered := 0
 	curve := ConcentrationCurve{
 		TopFrac: make([]float64, len(ranked)),
 		Share:   make([]float64, len(ranked)),
 	}
-	for i, e := range ranked {
-		for _, ci := range byUser[e.id] {
-			if !coveredContract[ci] {
-				coveredContract[ci] = true
-				covered++
-			}
-		}
+	for i := range ranked {
+		covered += coveredAt[i]
 		curve.TopFrac[i] = float64(i+1) / float64(len(ranked))
 		if len(cs) > 0 {
 			curve.Share[i] = float64(covered) / float64(len(cs))

@@ -1,69 +1,52 @@
 package analysis
 
 import (
-	"sync"
-	"time"
-
 	"turnup/internal/dataset"
 	"turnup/internal/forum"
 )
-
-// MaxCreated returns the latest contract creation time in the corpus
-// (zero when empty) — the watermark Append's in-order check compares new
-// events against.
-func (ix *Index) MaxCreated() time.Time {
-	ix.maxOnce.Do(func() {
-		for _, c := range ix.D.Contracts {
-			if c.Created.After(ix.maxCreated) {
-				ix.maxCreated = c.Created
-			}
-		}
-	})
-	return ix.maxCreated
-}
 
 // Append derives the Index for nd — the parent corpus extended by the
 // added contracts, in that order — incrementally: every derived group is
 // extended in place of being rebuilt, and only the new completed-public
 // obligation text goes through the classifier. nd must be ix.D plus added
-// (ingest.Apply's contract): the builders' corpus-order iteration then
-// makes the result structurally identical to NewIndex(nd) built from
-// scratch, which the golden incremental test pins report-byte-for-byte.
+// (ingest.Apply's contract): the group builder's corpus-order scan then
+// makes the result structurally identical to a from-scratch rebuild,
+// which the golden incremental test pins report-byte-for-byte.
 //
 // The in-order fast path requires every added contract to be created at
 // or after the parent's creation watermark; an out-of-order append has
 // dirtied history (month buckets, era membership, first-era-of-use are no
 // longer suffix-extensions), so Append falls back to a full rebuild.
 //
-// The parent Index is never mutated: array-of-slice groups are copied by
-// value, bucket extensions use capped appends (the parent's backing
+// The parent's groups are never mutated: array-of-slice groups are copied
+// by value, bucket extensions use capped appends (the parent's backing
 // arrays cannot be written through), and maps are shallow-cloned before
 // new keys land. Suite runs holding the parent keep reading consistent
-// data.
+// data. The extended groups are installed into nd's derived-cache slot,
+// so later NewIndex(nd) handles (per-report, per-stage) share them.
 func (ix *Index) Append(nd *dataset.Dataset, added []*forum.Contract) *Index {
-	watermark := ix.MaxCreated()
+	parent := ix.groups()
+	watermark := parent.maxCreated
 	for _, c := range added {
 		if c.Created.Before(watermark) {
 			return NewIndex(nd) // out-of-order: history dirtied, rebuild
 		}
 	}
 
-	// Force-build every parent group so the child can extend rather than
-	// re-derive. After the first append these are no-ops: the previous
-	// child was born with all groups built.
-	ix.buildMonths()
-	ix.buildSubsets()
-	ix.InEra(dataset.EraSetup)
-	ix.buildUsers()
-	ix.buildObligations()
-	ix.MoneyContracts()
+	// Force the parent's obligation table so the child extends it instead
+	// of re-deriving. After the first append this is a no-op: the previous
+	// child was born with it built.
+	parent.obligations()
 
-	child := &Index{D: nd}
+	child := &corpusGroups{
+		nContracts: len(nd.Contracts),
+		maxCreated: watermark,
+	}
 
 	// Months: value-copy the bucket arrays, then cap each touched bucket
 	// before appending so the parent's backing array is never written.
-	child.byMonth = ix.byMonth
-	child.completedByMonth = ix.completedByMonth
+	child.byMonth = parent.byMonth
+	child.completedByMonth = parent.completedByMonth
 	for _, c := range added {
 		m := dataset.MonthOf(c.Created)
 		child.byMonth[m] = appendCopy(child.byMonth[m], c)
@@ -78,9 +61,9 @@ func (ix *Index) Append(nd *dataset.Dataset, added []*forum.Contract) *Index {
 	}
 
 	// Subsets: suffix-extend in corpus order.
-	child.completed = ix.completed
-	child.public = ix.public
-	child.completedPublic = ix.completedPublic
+	child.completed = parent.completed
+	child.public = parent.public
+	child.completedPublic = parent.completedPublic
 	for _, c := range added {
 		done := c.IsComplete()
 		if done {
@@ -95,19 +78,19 @@ func (ix *Index) Append(nd *dataset.Dataset, added []*forum.Contract) *Index {
 	}
 
 	// Eras.
-	child.inEra = ix.inEra
+	child.inEra = parent.inEra
 	for _, c := range added {
 		e := dataset.EraOf(c.Created)
 		child.inEra[e] = appendCopy(child.inEra[e], c)
 	}
 
 	// Per-user groupings: clone the maps, extend touched users' lists.
-	child.userContracts = make(map[forum.UserID][]*forum.Contract, len(ix.userContracts)+2*len(added))
-	for u, cs := range ix.userContracts {
+	child.userContracts = make(map[forum.UserID][]*forum.Contract, len(parent.userContracts)+2*len(added))
+	for u, cs := range parent.userContracts {
 		child.userContracts[u] = cs
 	}
-	child.firstEra = make(map[forum.UserID]dataset.Era, len(ix.firstEra)+2*len(added))
-	for u, e := range ix.firstEra {
+	child.firstEra = make(map[forum.UserID]dataset.Era, len(parent.firstEra)+2*len(added))
+	for u, e := range parent.firstEra {
 		child.firstEra[u] = e
 	}
 	for _, c := range added {
@@ -124,41 +107,45 @@ func (ix *Index) Append(nd *dataset.Dataset, added []*forum.Contract) *Index {
 	}
 
 	// Obligation table: clone, then classify only the new completed-public
-	// text — the incremental path's whole point.
-	child.oblig = make(map[forum.ContractID]*obligation, len(ix.oblig)+len(added))
-	for id, o := range ix.oblig {
+	// text — the incremental path's whole point. The value-extraction memo
+	// is left unbuilt: it rebuilds lazily (per distinct text) on the first
+	// value stage over the child corpus.
+	child.oblig = make(map[forum.ContractID]*obligation, len(parent.oblig)+len(added))
+	for id, o := range parent.oblig {
 		child.oblig[id] = o
 	}
-	child.money = ix.money
+	child.money = parent.money
 	for _, c := range added {
 		if !c.Public || !c.IsComplete() {
 			continue
 		}
 		o := classifyContract(c)
 		child.oblig[c.ID] = &o
-		if isMoney(o.MakerCats) || isMoney(o.TakerCats) {
+		if (o.makerCatMask|o.takerCatMask)&moneyMask != 0 {
 			child.money = appendCopy(child.money, c)
 		}
 	}
+	// The obligation group is fully extended: mark its Once consumed so
+	// lazy accessors hand out this state instead of rebuilding from nd.
+	child.obligOnce.Do(func() {})
 
 	// New watermark: the in-order check above makes it the last added
 	// contract's creation time (or the parent's, for a contract-less batch).
-	child.maxCreated = watermark
 	for _, c := range added {
 		if c.Created.After(child.maxCreated) {
 			child.maxCreated = c.Created
 		}
 	}
 
-	// Mark every group built so the child's lazy accessors hand out the
-	// extended state instead of rebuilding from nd.
-	for _, once := range []*sync.Once{
-		&child.monthsOnce, &child.subsetsOnce, &child.erasOnce,
-		&child.usersOnce, &child.obligOnce, &child.moneyOnce, &child.maxOnce,
-	} {
-		once.Do(func() {})
-	}
-	return child
+	// Give nd its columnar projection cheaply too, if ingest.Apply has not
+	// already: parent blocks shared, one new block for the added rows.
+	nd.ExtendColumnsFrom(ix.D, added)
+
+	nix := &Index{D: nd}
+	nix.g.Store(child)
+	// Share the extended groups with every future Index over nd.
+	nd.StoreDerived(child)
+	return nix
 }
 
 // appendCopy appends c to s without ever growing into s's backing array:

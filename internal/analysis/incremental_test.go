@@ -83,8 +83,10 @@ func TestIncrementalIndexGolden(t *testing.T) {
 		assertIndexMatchesRebuild(t, nd, nix)
 
 		// One from-scratch render is the golden reference; the incremental
-		// index must reproduce it byte-for-byte at every worker count.
-		want := renderSuite(t, nd, nil, 1)
+		// index must reproduce it byte-for-byte at every worker count. The
+		// reference must bypass the dataset's shared group cache (Append
+		// installed the groups under test there), so it pins RebuildIndex.
+		want := renderSuite(t, nd, analysis.RebuildIndex(nd), 1)
 		for _, w := range workerCounts {
 			if got := renderSuite(t, nd, nix, w); got != want {
 				t.Fatalf("generation %d workers %d: incremental report diverges from rebuild", gen+2, w)
@@ -108,17 +110,18 @@ func TestIncrementalIndexGolden(t *testing.T) {
 	nd := ingest.Apply(parentD, &ingest.Batch{Contracts: ooo})
 	nix := parentIx.Append(nd, ooo)
 	assertIndexMatchesRebuild(t, nd, nix)
-	if got, want := renderSuite(t, nd, nix, 4), renderSuite(t, nd, nil, 1); got != want {
+	if got, want := renderSuite(t, nd, nix, 4), renderSuite(t, nd, analysis.RebuildIndex(nd), 1); got != want {
 		t.Fatal("out-of-order append: incremental report diverges from rebuild")
 	}
 }
 
 // assertIndexMatchesRebuild pins the appended index's derived groups to
-// a from-scratch NewIndex over the same corpus — structural identity,
-// not just report identity.
+// a from-scratch rebuild over the same corpus — structural identity, not
+// just report identity. RebuildIndex, not NewIndex: the latter would read
+// the shared cache slot Append just installed the groups under test into.
 func assertIndexMatchesRebuild(t *testing.T, d *dataset.Dataset, got *analysis.Index) {
 	t.Helper()
-	want := analysis.NewIndex(d)
+	want := analysis.RebuildIndex(d)
 	if !reflect.DeepEqual(got.ByMonth(), want.ByMonth()) {
 		t.Fatal("ByMonth diverges from rebuild")
 	}

@@ -1,8 +1,7 @@
 package analysis
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"turnup/internal/dataset"
@@ -10,179 +9,130 @@ import (
 	"turnup/internal/textmine"
 )
 
-// Index is the shared, lazily materialised view of one immutable Dataset
-// that every suite stage reads instead of re-deriving its own groupings.
-// The paper's pipeline is ~29 longitudinal views over one fixed corpus,
-// and before the index each view re-bucketed contracts by month, re-built
-// the completed/public subsets, and — worst of all — re-parsed the same
+// Index is the shared view of one immutable Dataset that every suite
+// stage reads instead of re-deriving its own groupings. The paper's
+// pipeline is ~29 longitudinal views over one fixed corpus, and before
+// the index each view re-bucketed contracts by month, re-built the
+// completed/public subsets, and — worst of all — re-parsed the same
 // maker/taker obligation strings through the regex categoriser in five
-// separate stages. Each derived group is built at most once per suite run,
-// on first use, behind its own sync.Once, so concurrent stages share one
-// construction and partial runs never pay for groups they don't touch.
+// separate stages.
+//
+// Since the columnar refactor the Index is a thin handle: the derived
+// groups themselves (corpusGroups) are built from one scan of the
+// dataset's columnar projection and cached on the Dataset, so distinct
+// Index values over the same corpus — per report request, per suite run,
+// per generation — share a single construction. An Index resolves its
+// groups on first use and then pins them, so a handle never observes two
+// different group sets.
 //
 // Everything an Index hands out is shared and must be treated as
 // read-only; that is the same ownership discipline the stage DAG already
-// imposes on Suite slots. Construction is deterministic: builders iterate
-// d.Contracts in slice order (and the obligation table's worker pool
-// writes fixed, disjoint ranges), so results are identical at any worker
-// count.
+// imposes on Suite slots. Construction is deterministic: the group
+// builder scans columns in corpus order (and the obligation table's
+// worker pool writes fixed, disjoint ranges), so results are identical
+// at any worker count.
 type Index struct {
 	// D is the underlying corpus; stages reach through the Index for it.
 	D *dataset.Dataset
 
-	monthsOnce       sync.Once
-	byMonth          [dataset.NumMonths][]*forum.Contract
-	completedByMonth [dataset.NumMonths][]*forum.Contract
-
-	subsetsOnce     sync.Once
-	completed       []*forum.Contract
-	public          []*forum.Contract
-	completedPublic []*forum.Contract
-
-	erasOnce sync.Once
-	inEra    [dataset.NumEras][]*forum.Contract
-
-	usersOnce     sync.Once
-	userContracts map[forum.UserID][]*forum.Contract
-	firstEra      map[forum.UserID]dataset.Era
-
-	obligOnce sync.Once
-	oblig     map[forum.ContractID]*obligation
-
-	moneyOnce sync.Once
-	money     []*forum.Contract
-
-	maxOnce    sync.Once
-	maxCreated time.Time
+	g atomic.Pointer[corpusGroups]
 }
 
 // obligation is the memoized classification of one contract's maker and
 // taker obligation text — the table that collapses five stages' worth of
-// repeated textmine.Categorize/PaymentMethods calls into one pass.
+// repeated textmine.Categorize/PaymentMethods calls into one pass. The
+// bitmask forms mirror the slices over the canonical textmine orderings;
+// union-style consumers OR them instead of building per-contract maps.
 type obligation struct {
 	MakerCats    []textmine.Category
 	TakerCats    []textmine.Category
 	MakerMethods []textmine.Method
 	TakerMethods []textmine.Method
+
+	makerCatMask  uint32
+	takerCatMask  uint32
+	makerMethMask uint32
+	takerMethMask uint32
 }
 
 // NewIndex wraps a dataset. Nothing is computed until a group is first
-// requested.
+// requested, and the underlying groups are shared with every other Index
+// over the same corpus through the dataset's derived cache.
 func NewIndex(d *dataset.Dataset) *Index { return &Index{D: d} }
+
+// RebuildIndex returns an Index over a freshly built set of derived
+// groups, bypassing — and not installing into — the dataset's shared
+// cache. Reference paths use it when "from scratch" must mean exactly
+// that: the incremental-index golden test compares an appended Index
+// against a RebuildIndex result, which the shared cache would otherwise
+// alias to the very groups under test.
+func RebuildIndex(d *dataset.Dataset) *Index {
+	ix := &Index{D: d}
+	ix.g.Store(buildGroups(d))
+	return ix
+}
+
+// groups resolves (and pins) the derived groups for this handle.
+func (ix *Index) groups() *corpusGroups {
+	if g := ix.g.Load(); g != nil {
+		return g
+	}
+	g := sharedGroups(ix.D)
+	ix.g.Store(g)
+	return g
+}
 
 // ByMonth buckets contracts by creation month (shared; do not mutate).
 func (ix *Index) ByMonth() [dataset.NumMonths][]*forum.Contract {
-	ix.buildMonths()
-	return ix.byMonth
+	return ix.groups().byMonth
 }
 
 // CompletedByMonth buckets completed contracts by completion month
 // (falling back to creation month when the completion date is missing).
 func (ix *Index) CompletedByMonth() [dataset.NumMonths][]*forum.Contract {
-	ix.buildMonths()
-	return ix.completedByMonth
-}
-
-func (ix *Index) buildMonths() {
-	ix.monthsOnce.Do(func() {
-		for _, c := range ix.D.Contracts {
-			ix.byMonth[dataset.MonthOf(c.Created)] = append(ix.byMonth[dataset.MonthOf(c.Created)], c)
-			if !c.IsComplete() {
-				continue
-			}
-			at := c.Completed
-			if at.IsZero() {
-				at = c.Created
-			}
-			ix.completedByMonth[dataset.MonthOf(at)] = append(ix.completedByMonth[dataset.MonthOf(at)], c)
-		}
-	})
+	return ix.groups().completedByMonth
 }
 
 // Completed returns all fully completed contracts, in corpus order.
 func (ix *Index) Completed() []*forum.Contract {
-	ix.buildSubsets()
-	return ix.completed
+	return ix.groups().completed
 }
 
 // Public returns all public contracts, in corpus order.
 func (ix *Index) Public() []*forum.Contract {
-	ix.buildSubsets()
-	return ix.public
+	return ix.groups().public
 }
 
 // CompletedPublic returns completed public contracts — the subset every
 // obligation-text analysis runs on.
 func (ix *Index) CompletedPublic() []*forum.Contract {
-	ix.buildSubsets()
-	return ix.completedPublic
-}
-
-func (ix *Index) buildSubsets() {
-	ix.subsetsOnce.Do(func() {
-		for _, c := range ix.D.Contracts {
-			done := c.IsComplete()
-			if done {
-				ix.completed = append(ix.completed, c)
-			}
-			if c.Public {
-				ix.public = append(ix.public, c)
-				if done {
-					ix.completedPublic = append(ix.completedPublic, c)
-				}
-			}
-		}
-	})
+	return ix.groups().completedPublic
 }
 
 // InEra returns contracts created within era e, in corpus order.
 func (ix *Index) InEra(e dataset.Era) []*forum.Contract {
-	ix.erasOnce.Do(func() {
-		for _, c := range ix.D.Contracts {
-			era := dataset.EraOf(c.Created)
-			ix.inEra[era] = append(ix.inEra[era], c)
-		}
-	})
-	return ix.inEra[e]
+	return ix.groups().inEra[e]
 }
 
 // UserContracts maps each user to every contract they are party to (as
 // maker or taker), in corpus order. A contract appears in both parties'
 // lists.
 func (ix *Index) UserContracts() map[forum.UserID][]*forum.Contract {
-	ix.buildUsers()
-	return ix.userContracts
+	return ix.groups().userContracts
 }
 
 // FirstEraOfUse maps each user to the era of their first contract-system
 // activity — the map zipRecords used to rebuild on every one of its seven
 // calls.
 func (ix *Index) FirstEraOfUse() map[forum.UserID]dataset.Era {
-	ix.buildUsers()
-	return ix.firstEra
+	return ix.groups().firstEra
 }
 
-func (ix *Index) buildUsers() {
-	ix.usersOnce.Do(func() {
-		byUser := make(map[forum.UserID][]*forum.Contract)
-		first := make(map[forum.UserID]dataset.Era)
-		for _, c := range ix.D.Contracts {
-			byUser[c.Maker] = append(byUser[c.Maker], c)
-			if c.Taker != c.Maker {
-				byUser[c.Taker] = append(byUser[c.Taker], c)
-			}
-			// Contracts are scanned in corpus order, not time order, so the
-			// era of first use is the minimum era over the user's contracts.
-			e := dataset.EraOf(c.Created)
-			for _, u := range []forum.UserID{c.Maker, c.Taker} {
-				if prev, ok := first[u]; !ok || e < prev {
-					first[u] = e
-				}
-			}
-		}
-		ix.userContracts = byUser
-		ix.firstEra = first
-	})
+// MaxCreated returns the latest contract creation time in the corpus
+// (zero when empty) — the watermark Append's in-order check compares new
+// events against.
+func (ix *Index) MaxCreated() time.Time {
+	return ix.groups().maxCreated
 }
 
 // MakerCategories returns the memoized trading-activity categories of the
@@ -221,80 +171,48 @@ func (ix *Index) TakerMethods(c *forum.Contract) []textmine.Method {
 }
 
 func (ix *Index) obligationOf(c *forum.Contract) *obligation {
-	ix.buildObligations()
-	return ix.oblig[c.ID]
+	return ix.groups().obligations()[c.ID]
 }
 
-// buildObligations classifies every completed public contract's maker and
-// taker text in one pass — the only contracts any stage categorises; the
-// rest carry no public obligation text. The pass is split across a small
-// worker pool: workers fill fixed disjoint ranges of a pre-sized slice,
-// so the resulting table is identical for every worker count.
-func (ix *Index) buildObligations() {
-	ix.obligOnce.Do(func() {
-		cs := ix.CompletedPublic()
-		entries := make([]obligation, len(cs))
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(cs) {
-			workers = len(cs)
-		}
-		if workers > 1 {
-			var wg sync.WaitGroup
-			chunk := (len(cs) + workers - 1) / workers
-			for lo := 0; lo < len(cs); lo += chunk {
-				hi := lo + chunk
-				if hi > len(cs) {
-					hi = len(cs)
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						entries[i] = classifyContract(cs[i])
-					}
-				}(lo, hi)
-			}
-			wg.Wait()
-		} else {
-			for i, c := range cs {
-				entries[i] = classifyContract(c)
-			}
-		}
-		tab := make(map[forum.ContractID]*obligation, len(cs))
-		for i, c := range cs {
-			tab[c.ID] = &entries[i]
-		}
-		ix.oblig = tab
-	})
+// categoryMask returns the union bitmask of both sides' categories,
+// Uncategorised excluded — Table 5's per-activity membership test.
+func (ix *Index) categoryMask(c *forum.Contract) uint32 {
+	if o := ix.obligationOf(c); o != nil {
+		return (o.makerCatMask | o.takerCatMask) &^ uncatMask
+	}
+	return (catMaskOf(textmine.Categorize(c.MakerObligation)) |
+		catMaskOf(textmine.Categorize(c.TakerObligation))) &^ uncatMask
 }
 
-func classifyContract(c *forum.Contract) obligation {
-	var o obligation
-	o.MakerCats, o.MakerMethods = textmine.Classify(c.MakerObligation)
-	o.TakerCats, o.TakerMethods = textmine.Classify(c.TakerObligation)
-	return o
+// methodMask returns the union bitmask of both sides' payment methods.
+func (ix *Index) methodMask(c *forum.Contract) uint32 {
+	if o := ix.obligationOf(c); o != nil {
+		return o.makerMethMask | o.takerMethMask
+	}
+	return methMaskOf(textmine.PaymentMethods(c.MakerObligation)) |
+		methMaskOf(textmine.PaymentMethods(c.TakerObligation))
 }
 
 // MoneyContracts returns the completed public contracts classified into a
 // money-movement activity (currency exchange, payments, or giftcard) on
 // either side — the Table 4 / Figure 10 population.
 func (ix *Index) MoneyContracts() []*forum.Contract {
-	ix.moneyOnce.Do(func() {
-		for _, c := range ix.CompletedPublic() {
-			if isMoney(ix.MakerCategories(c)) || isMoney(ix.TakerCategories(c)) {
-				ix.money = append(ix.money, c)
-			}
-		}
-	})
-	return ix.money
+	return ix.groups().moneyContracts()
+}
+
+// classifyContract builds a full obligation entry for one contract — the
+// incremental append path's per-new-contract classification.
+func classifyContract(c *forum.Contract) obligation {
+	var o obligation
+	o.MakerCats, o.MakerMethods = textmine.Classify(c.MakerObligation)
+	o.TakerCats, o.TakerMethods = textmine.Classify(c.TakerObligation)
+	o.makerCatMask = catMaskOf(o.MakerCats)
+	o.takerCatMask = catMaskOf(o.TakerCats)
+	o.makerMethMask = methMaskOf(o.MakerMethods)
+	o.takerMethMask = methMaskOf(o.TakerMethods)
+	return o
 }
 
 func isMoney(cats []textmine.Category) bool {
-	for _, cat := range cats {
-		switch cat {
-		case textmine.CurrencyExchange, textmine.Payments, textmine.Giftcard:
-			return true
-		}
-	}
-	return false
+	return catMaskOf(cats)&moneyMask != 0
 }

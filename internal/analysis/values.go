@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math/bits"
 	"time"
 
 	"turnup/internal/chain"
@@ -101,6 +102,7 @@ func valuesIdx(ix *Index) ValueReport {
 	actAcc := map[textmine.Category]*ValueRow{}
 	methAcc := map[textmine.Method]*MethodValueRow{}
 	userValue := map[forum.UserID]float64{}
+	extracted := ix.groups().extractedValues()
 
 	for _, c := range ix.CompletedPublic() {
 		if c.Type == forum.VouchCopy {
@@ -110,8 +112,8 @@ func valuesIdx(ix *Index) ValueReport {
 		if at.IsZero() {
 			at = c.Created
 		}
-		mv := firstValueUSD(c.MakerObligation, fxTab, at)
-		tv := firstValueUSD(c.TakerObligation, fxTab, at)
+		mv := firstValueUSD(lookupValues(extracted, c.MakerObligation), fxTab, at)
+		tv := firstValueUSD(lookupValues(extracted, c.TakerObligation), fxTab, at)
 		if mv == 0 && tv == 0 {
 			continue // value undeterminable for both sides: excluded
 		}
@@ -171,8 +173,10 @@ func valuesIdx(ix *Index) ValueReport {
 		userValue[c.Maker] += value
 		userValue[c.Taker] += value
 
-		// Table 5 left: per-activity maker/taker value sums.
-		for cat := range unionCategories(ix, c) {
+		// Table 5 left: per-activity maker/taker value sums — bitmask union
+		// of both sides' categories instead of a per-contract map.
+		for mask := ix.categoryMask(c); mask != 0; mask &= mask - 1 {
+			cat := textmine.Categories[trailingBit(mask)]
 			row, ok := actAcc[cat]
 			if !ok {
 				row = &ValueRow{Category: cat}
@@ -182,7 +186,8 @@ func valuesIdx(ix *Index) ValueReport {
 			row.TakersUSD += tv
 		}
 		// Table 5 right: per-method value sums.
-		for m := range unionMethods(ix, c) {
+		for mask := ix.methodMask(c); mask != 0; mask &= mask - 1 {
+			m := textmine.Methods[trailingBit(mask)]
 			row, ok := methAcc[m]
 			if !ok {
 				row = &MethodValueRow{Method: m}
@@ -216,11 +221,12 @@ func valuesIdx(ix *Index) ValueReport {
 	return r
 }
 
-// firstValueUSD extracts the side's first quoted value converted to USD at
-// the transaction time. An unknown denomination falls back to USD, per the
-// paper's default.
-func firstValueUSD(text string, tab *fx.Table, at time.Time) float64 {
-	for _, m := range textmine.ExtractValues(text) {
+// firstValueUSD walks a side's extracted quoted values (the index's memo
+// table, one ExtractValues per distinct text) and returns the first
+// converted to USD at the transaction time. An unknown denomination falls
+// back to USD, per the paper's default.
+func firstValueUSD(ms []textmine.Money, tab *fx.Table, at time.Time) float64 {
+	for _, m := range ms {
 		usd, err := tab.ToUSD(m.Amount, m.Currency, at)
 		if err != nil {
 			usd = m.Amount // unknown denomination: treat as USD
@@ -232,30 +238,19 @@ func firstValueUSD(text string, tab *fx.Table, at time.Time) float64 {
 	return 0
 }
 
-func unionCategories(ix *Index, c *forum.Contract) map[textmine.Category]bool {
-	out := map[textmine.Category]bool{}
-	for _, cat := range ix.MakerCategories(c) {
-		if cat != textmine.Uncategorised {
-			out[cat] = true
-		}
+// lookupValues resolves a text's extracted values through the memo table,
+// parsing directly only for text outside it (the table covers the whole
+// §4.5 population, so this is belt-and-braces).
+func lookupValues(vals map[string][]textmine.Money, text string) []textmine.Money {
+	if ms, ok := vals[text]; ok {
+		return ms
 	}
-	for _, cat := range ix.TakerCategories(c) {
-		if cat != textmine.Uncategorised {
-			out[cat] = true
-		}
-	}
-	return out
+	return textmine.ExtractValues(text)
 }
 
-func unionMethods(ix *Index, c *forum.Contract) map[textmine.Method]bool {
-	out := map[textmine.Method]bool{}
-	for _, m := range ix.MakerMethods(c) {
-		out[m] = true
-	}
-	for _, m := range ix.TakerMethods(c) {
-		out[m] = true
-	}
-	return out
+// trailingBit returns the index of the lowest set bit (mask != 0).
+func trailingBit(mask uint32) int {
+	return bits.TrailingZeros32(mask)
 }
 
 func verifyAgainstLedger(l *chain.Ledger, c *forum.Contract, declared float64) chain.Verdict {
@@ -378,14 +373,16 @@ func valueTrendsIdx(ix *Index, report ValueReport) ValueTrend {
 		arr := t.ByType[c.Type]
 		arr[m] += value
 		t.ByType[c.Type] = arr
-		for meth := range unionMethods(ix, c) {
+		for mask := ix.methodMask(c); mask != 0; mask &= mask - 1 {
+			meth := textmine.Methods[trailingBit(mask)]
 			if topM[meth] {
 				a := t.ByMethod[meth]
 				a[m] += value
 				t.ByMethod[meth] = a
 			}
 		}
-		for cat := range unionCategories(ix, c) {
+		for mask := ix.categoryMask(c); mask != 0; mask &= mask - 1 {
+			cat := textmine.Categories[trailingBit(mask)]
 			if topC[cat] {
 				a := t.ByCategory[cat]
 				a[m] += value

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
@@ -14,6 +15,20 @@ import (
 
 // The CSV schema version written into file headers.
 const timeLayout = time.RFC3339
+
+// checkHeader validates a parsed header row against the canonical column
+// names for one table. Every reader goes through it: a reordered or renamed
+// column is a schema mismatch, not data to be silently mis-assigned. The
+// csv.Reader's FieldsPerRecord bound guarantees got and want are the same
+// length by the time this runs.
+func checkHeader(got, want []string, table string) error {
+	for i, h := range want {
+		if got[i] != h {
+			return fmt.Errorf("dataset: %s column %d is %q, want %q", table, i, got[i], h)
+		}
+	}
+	return nil
+}
 
 var contractHeader = []string{
 	"id", "type", "maker", "taker", "thread", "created", "decided",
@@ -65,10 +80,8 @@ func ReadContractsCSV(r io.Reader) ([]*forum.Contract, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading contract header: %w", err)
 	}
-	for i, h := range contractHeader {
-		if header[i] != h {
-			return nil, fmt.Errorf("dataset: contract column %d is %q, want %q", i, header[i], h)
-		}
+	if err := checkHeader(header, contractHeader, "contract"); err != nil {
+		return nil, err
 	}
 	var out []*forum.Contract
 	for line := 2; ; line++ {
@@ -167,17 +180,16 @@ func WriteUsersCSV(w io.Writer, users map[forum.UserID]*forum.User) error {
 	if err := cw.Write(userHeader); err != nil {
 		return err
 	}
-	maxID := forum.UserID(0)
+	// Iterate the sorted key set rather than densely scanning 1..maxID:
+	// the dense loop silently dropped users with ID <= 0 and paid O(maxID)
+	// on sparse ID spaces.
+	ids := make([]int, 0, len(users))
 	for id := range users {
-		if id > maxID {
-			maxID = id
-		}
+		ids = append(ids, int(id))
 	}
-	for id := forum.UserID(1); id <= maxID; id++ {
-		u, ok := users[id]
-		if !ok {
-			continue
-		}
+	sort.Ints(ids)
+	for _, id := range ids {
+		u := users[forum.UserID(id)]
 		rec := []string{
 			strconv.Itoa(int(u.ID)),
 			formatTime(u.Joined),
@@ -199,8 +211,12 @@ func WriteUsersCSV(w io.Writer, users map[forum.UserID]*forum.User) error {
 func ReadUsersCSV(r io.Reader) (map[forum.UserID]*forum.User, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(userHeader)
-	if _, err := cr.Read(); err != nil {
+	header, err := cr.Read()
+	if err != nil {
 		return nil, fmt.Errorf("dataset: reading user header: %w", err)
+	}
+	if err := checkHeader(header, userHeader, "user"); err != nil {
+		return nil, err
 	}
 	out := make(map[forum.UserID]*forum.User)
 	for line := 2; ; line++ {
@@ -248,7 +264,10 @@ func ReadUsersCSV(r io.Reader) (map[forum.UserID]*forum.User, error) {
 	return out, nil
 }
 
-// SaveDir writes contracts.csv and users.csv into dir, creating it.
+// SaveDir writes contracts.csv, users.csv, and dataset.bin into dir,
+// creating it. The CSV pair remains the interchange format (uploads, smoke
+// jobs, external tools); dataset.bin is the columnar binary LoadDir
+// prefers, carrying the same content at the same (second) precision.
 // Threads, posts, and the ledger are regenerable from the seed and are not
 // persisted.
 func (d *Dataset) SaveDir(dir string) error {
@@ -268,11 +287,29 @@ func (d *Dataset) SaveDir(dir string) error {
 		return err
 	}
 	defer uf.Close()
-	return WriteUsersCSV(uf, d.Users)
+	if err := WriteUsersCSV(uf, d.Users); err != nil {
+		return err
+	}
+	bf, err := os.Create(filepath.Join(dir, BinaryName))
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	return d.EncodeBinary(bf)
 }
 
-// LoadDir reads a dataset saved with SaveDir.
+// LoadDir reads a dataset saved with SaveDir, preferring the columnar
+// dataset.bin when present (no CSV re-parse) and falling back to the CSV
+// pair for directories written by older tools or by hand.
 func LoadDir(dir string) (*Dataset, error) {
+	if bf, err := os.Open(filepath.Join(dir, BinaryName)); err == nil {
+		defer bf.Close()
+		d, err := DecodeBinary(bf)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: decoding %s: %w", BinaryName, err)
+		}
+		return d, nil
+	}
 	cf, err := os.Open(filepath.Join(dir, "contracts.csv"))
 	if err != nil {
 		return nil, err

@@ -45,8 +45,12 @@ func WriteThreadsCSV(w io.Writer, threads map[forum.ThreadID]*forum.Thread) erro
 func ReadThreadsCSV(r io.Reader) (map[forum.ThreadID]*forum.Thread, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(threadHeader)
-	if _, err := cr.Read(); err != nil {
+	header, err := cr.Read()
+	if err != nil {
 		return nil, fmt.Errorf("dataset: reading thread header: %w", err)
+	}
+	if err := checkHeader(header, threadHeader, "thread"); err != nil {
+		return nil, err
 	}
 	out := make(map[forum.ThreadID]*forum.Thread)
 	for line := 2; ; line++ {
@@ -105,8 +109,12 @@ func WritePostsCSV(w io.Writer, posts []*forum.Post) error {
 func ReadPostsCSV(r io.Reader) ([]*forum.Post, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(postHeader)
-	if _, err := cr.Read(); err != nil {
+	header, err := cr.Read()
+	if err != nil {
 		return nil, fmt.Errorf("dataset: reading post header: %w", err)
+	}
+	if err := checkHeader(header, postHeader, "post"); err != nil {
+		return nil, err
 	}
 	var out []*forum.Post
 	for line := 2; ; line++ {

@@ -6,7 +6,9 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"turnup/internal/chain"
@@ -126,6 +128,76 @@ type Dataset struct {
 	Posts     []*forum.Post
 	Contracts []*forum.Contract
 	Ledger    *chain.Ledger
+
+	// derived caches the columnar projection of Contracts and an opaque
+	// analysis-owned derived-groups value, both keyed to the current
+	// contract count. The zero value is ready to use, so field-literal
+	// construction (ingest.Apply) starts with an empty cache.
+	derived derivedCache
+}
+
+// derivedCache holds lazily built per-corpus derivations. Two separate
+// mutexes because building the analysis groups reads Columns(): the
+// groups lock may be held across a Columns() call, never vice versa.
+type derivedCache struct {
+	colsMu sync.Mutex
+	cols   *Columns
+
+	groupsMu sync.Mutex
+	groups   any
+}
+
+// CachedDerived returns the dataset's cached derived value when fresh
+// still accepts it, otherwise builds, stores, and returns a new one. The
+// analysis layer uses it to share one set of derived groupings (month
+// buckets, obligation classifications) across every Index over the same
+// corpus. build runs under the cache lock, so concurrent callers observe
+// exactly one construction.
+func (d *Dataset) CachedDerived(fresh func(any) bool, build func() any) any {
+	d.derived.groupsMu.Lock()
+	defer d.derived.groupsMu.Unlock()
+	if d.derived.groups != nil && fresh(d.derived.groups) {
+		return d.derived.groups
+	}
+	g := build()
+	d.derived.groups = g
+	return g
+}
+
+// StoreDerived installs a derived value built elsewhere — the incremental
+// append path extends the parent's groups and plants the result here so
+// later Index constructions over this dataset share it.
+func (d *Dataset) StoreDerived(g any) {
+	d.derived.groupsMu.Lock()
+	d.derived.groups = g
+	d.derived.groupsMu.Unlock()
+}
+
+// ErrOutOfWindow marks a loaded contract created outside the study window
+// [SetupStart, StudyEnd). MonthOf deliberately clamps out-of-window times
+// (monthly arrays are always fully indexable), which means loader paths
+// that skip Validate would silently mis-bucket such rows into the first or
+// last study month — so the load/ingest boundaries check explicitly.
+var ErrOutOfWindow = errors.New("contract created outside the study window")
+
+// InWindow reports whether t falls inside the study window
+// [SetupStart, StudyEnd) — the invariant Validate, the loaders, and the
+// ingest boundary all share.
+func InWindow(t time.Time) bool {
+	return !t.Before(SetupStart) && t.Before(StudyEnd)
+}
+
+// CheckWindow verifies every contract was created inside the study
+// window, wrapping ErrOutOfWindow with the offending contract. Read,
+// LoadDir, and DecodeBinary run it so no out-of-window row survives a
+// load only to be clamp-bucketed by MonthOf.
+func CheckWindow(contracts []*forum.Contract) error {
+	for _, c := range contracts {
+		if !InWindow(c.Created) {
+			return fmt.Errorf("dataset: %w: contract %d created %v", ErrOutOfWindow, c.ID, c.Created)
+		}
+	}
+	return nil
 }
 
 // New returns an empty dataset with initialised maps and ledger.
@@ -247,7 +319,7 @@ func (d *Dataset) Validate() error {
 				return fmt.Errorf("dataset: contract %d references unknown thread %d", c.ID, c.Thread)
 			}
 		}
-		if c.Created.Before(SetupStart) || !c.Created.Before(StudyEnd) {
+		if !InWindow(c.Created) {
 			return fmt.Errorf("dataset: contract %d created outside the study window: %v", c.ID, c.Created)
 		}
 		if !c.Completed.IsZero() && c.Completed.Before(c.Created) {

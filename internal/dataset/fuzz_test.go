@@ -43,3 +43,52 @@ func seedDatasetF(f *testing.F) *Dataset {
 	d.Contracts = c
 	return d
 }
+
+// FuzzDatasetRoundTrip is the format-equivalence property: any CSV pair
+// the readers accept must survive CSV → columnar → binary → decode with
+// its content digest — hence its canonical CSV bytes — unchanged. This is
+// the invariant that lets the store admit either format and dedupe across
+// them.
+func FuzzDatasetRoundTrip(f *testing.F) {
+	emptyContracts := strings.Join(contractHeader, ",") + "\n"
+	emptyUsers := strings.Join(userHeader, ",") + "\n"
+	f.Add(emptyContracts, emptyUsers)
+	f.Add(
+		emptyContracts+`7,SALE,1,2,0,2018-07-01T00:00:00Z,,,Pending,true,selling "x",paying $5,0,0,,`+"\n",
+		emptyUsers+"1,2018-06-01T00:00:00Z,,0,0,0,0\n2,2018-06-02T03:04:05Z,2018-06-03T00:00:00Z,9,2,-4,1\n",
+	)
+	// Huge ratings, negative/zero user IDs, repeated obligation text.
+	f.Add(
+		emptyContracts+
+			"1,EXCHANGE,-1,0,3,2019-04-01T12:00:00Z,2019-04-02T00:00:00Z,2019-04-03T00:00:00Z,Complete,true,swap btc,swap ltc,99999999999,-99999999999,addr,tx\n"+
+			"2,TRADE,5,6,0,2020-03-12T00:00:00Z,,,Denied,false,,,0,0,,\n"+
+			"3,SALE,5,6,0,2020-03-13T00:00:00Z,,,Pending,true,swap btc,swap ltc,0,0,,\n",
+		emptyUsers+"-1,,,0,0,0,0\n0,,,1,1,1,1\n5,,,0,0,0,0\n6,,,0,0,0,0\n",
+	)
+	f.Fuzz(func(t *testing.T, contractsCSV, usersCSV string) {
+		d, err := Read(strings.NewReader(contractsCSV), strings.NewReader(usersCSV))
+		if err != nil {
+			return // malformed input: rejection is the correct outcome
+		}
+		wantDigest, _ := d.Digest()
+		var bin bytes.Buffer
+		if err := d.EncodeBinary(&bin); err != nil {
+			t.Fatalf("encoding accepted corpus: %v", err)
+		}
+		if int64(bin.Len()) != d.BinarySize() {
+			t.Fatalf("encoded %d bytes, BinarySize says %d", bin.Len(), d.BinarySize())
+		}
+		got, err := DecodeBinary(&bin)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		gotDigest, _ := got.Digest()
+		if gotDigest != wantDigest {
+			t.Fatalf("digest changed across binary round trip: %s -> %s", wantDigest, gotDigest)
+		}
+		if len(got.Contracts) != len(d.Contracts) || len(got.Users) != len(d.Users) {
+			t.Fatalf("round trip %d/%d contracts, %d/%d users",
+				len(got.Contracts), len(d.Contracts), len(got.Users), len(d.Users))
+		}
+	})
+}

@@ -21,6 +21,12 @@ func Read(contracts, users io.Reader) (*Dataset, error) {
 	if d.Users, err = ReadUsersCSV(users); err != nil {
 		return nil, err
 	}
+	// Reject out-of-window contracts at the boundary: MonthOf clamps, so a
+	// row that slipped past here would silently land in the first or last
+	// study month instead of failing loudly.
+	if err := CheckWindow(d.Contracts); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 

@@ -12,21 +12,40 @@ import (
 	"turnup/internal/forum"
 )
 
-// Network is the contractual graph. Adjacency sets hold distinct
-// counterparties, so degrees are numbers of distinct users, as the paper
-// defines them.
+// Network is the contractual graph. Degrees count distinct counterparty
+// users, as the paper defines them, so edges must be deduplicated: one
+// flat seen-set keyed by directed user pair carries a bitmask of the
+// connection kinds already recorded for that pair, and per-user degree
+// counters advance only when a pair gains a new kind. This replaces the
+// per-user nested adjacency sets the first implementation used — same
+// semantics, one map instead of one map per user per kind.
 type Network struct {
-	raw map[forum.UserID]map[forum.UserID]bool
-	in  map[forum.UserID]map[forum.UserID]bool
-	out map[forum.UserID]map[forum.UserID]bool
+	seen   map[pair]uint8
+	degRaw map[forum.UserID]int
+	degIn  map[forum.UserID]int
+	degOut map[forum.UserID]int
 }
+
+// pair is a directed user pair. A struct key (not packed integers) so IDs
+// wider than 32 bits can never collide.
+type pair struct{ from, to forum.UserID }
+
+// Connection-kind bits in the seen-set. Raw edges are recorded in both
+// directions, so the raw bit on (u,v) means v is among u's distinct
+// counterparties.
+const (
+	bitRaw uint8 = 1 << iota
+	bitIn
+	bitOut
+)
 
 // New returns an empty network.
 func New() *Network {
 	return &Network{
-		raw: make(map[forum.UserID]map[forum.UserID]bool),
-		in:  make(map[forum.UserID]map[forum.UserID]bool),
-		out: make(map[forum.UserID]map[forum.UserID]bool),
+		seen:   make(map[pair]uint8),
+		degRaw: make(map[forum.UserID]int),
+		degIn:  make(map[forum.UserID]int),
+		degOut: make(map[forum.UserID]int),
 	}
 }
 
@@ -56,29 +75,36 @@ func (n *Network) Add(c *forum.Contract) {
 	if !connected(c) {
 		return
 	}
-	n.link(n.raw, c.Maker, c.Taker)
-	n.link(n.raw, c.Taker, c.Maker)
+	n.link(c.Maker, c.Taker, bitRaw)
+	n.link(c.Taker, c.Maker, bitRaw)
 	// Maker initiates: outbound maker→taker, inbound for taker from maker.
-	n.link(n.out, c.Maker, c.Taker)
-	n.link(n.in, c.Taker, c.Maker)
+	n.link(c.Maker, c.Taker, bitOut)
+	n.link(c.Taker, c.Maker, bitIn)
 	if c.Type.Bidirectional() {
 		// Goods flow both ways: both parties gain both connection kinds.
-		n.link(n.out, c.Taker, c.Maker)
-		n.link(n.in, c.Maker, c.Taker)
+		n.link(c.Taker, c.Maker, bitOut)
+		n.link(c.Maker, c.Taker, bitIn)
 	}
 }
 
-func (n *Network) link(adj map[forum.UserID]map[forum.UserID]bool, from, to forum.UserID) {
-	set, ok := adj[from]
-	if !ok {
-		set = make(map[forum.UserID]bool)
-		adj[from] = set
+func (n *Network) link(from, to forum.UserID, bit uint8) {
+	p := pair{from, to}
+	if n.seen[p]&bit != 0 {
+		return
 	}
-	set[to] = true
+	n.seen[p] |= bit
+	switch bit {
+	case bitRaw:
+		n.degRaw[from]++
+	case bitIn:
+		n.degIn[from]++
+	case bitOut:
+		n.degOut[from]++
+	}
 }
 
 // Nodes returns the number of users with at least one raw connection.
-func (n *Network) Nodes() int { return len(n.raw) }
+func (n *Network) Nodes() int { return len(n.degRaw) }
 
 // DegreeKind selects which degree notion to read.
 type DegreeKind int
@@ -104,27 +130,28 @@ func (k DegreeKind) String() string {
 	}
 }
 
-func (n *Network) adj(k DegreeKind) map[forum.UserID]map[forum.UserID]bool {
+func (n *Network) deg(k DegreeKind) map[forum.UserID]int {
 	switch k {
 	case Inbound:
-		return n.in
+		return n.degIn
 	case Outbound:
-		return n.out
+		return n.degOut
 	default:
-		return n.raw
+		return n.degRaw
 	}
 }
 
 // Degree returns user u's degree of the given kind.
-func (n *Network) Degree(u forum.UserID, k DegreeKind) int { return len(n.adj(k)[u]) }
+func (n *Network) Degree(u forum.UserID, k DegreeKind) int { return n.deg(k)[u] }
 
 // Degrees returns the degree of every user that appears in the raw graph
 // (users with zero inbound or outbound degree report 0, matching the
 // paper's "zero point" in the outbound distribution).
 func (n *Network) Degrees(k DegreeKind) map[forum.UserID]int {
-	out := make(map[forum.UserID]int, len(n.raw))
-	for u := range n.raw {
-		out[u] = len(n.adj(k)[u])
+	kind := n.deg(k)
+	out := make(map[forum.UserID]int, len(n.degRaw))
+	for u := range n.degRaw {
+		out[u] = kind[u]
 	}
 	return out
 }
@@ -139,10 +166,11 @@ type DegreeStats struct {
 
 // Stats computes max and mean degree of the given kind over raw-graph nodes.
 func (n *Network) Stats(k DegreeKind) DegreeStats {
-	s := DegreeStats{Kind: k, Nodes: len(n.raw)}
+	s := DegreeStats{Kind: k, Nodes: len(n.degRaw)}
+	kind := n.deg(k)
 	total := 0
-	for u := range n.raw {
-		d := len(n.adj(k)[u])
+	for u := range n.degRaw {
+		d := kind[u]
 		total += d
 		if d > s.Max {
 			s.Max = d
@@ -157,9 +185,10 @@ func (n *Network) Stats(k DegreeKind) DegreeStats {
 // DegreeSlice returns all degrees of a kind as a slice (for distribution
 // fitting and histograms).
 func (n *Network) DegreeSlice(k DegreeKind) []int {
-	out := make([]int, 0, len(n.raw))
-	for u := range n.raw {
-		out = append(out, len(n.adj(k)[u]))
+	kind := n.deg(k)
+	out := make([]int, 0, len(n.degRaw))
+	for u := range n.degRaw {
+		out = append(out, kind[u])
 	}
 	return out
 }

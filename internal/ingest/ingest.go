@@ -251,8 +251,8 @@ func (b *Batch) ValidateAgainst(d *dataset.Dataset) error {
 		if !known(c.Taker) {
 			return fmt.Errorf("ingest: contract %d references unknown taker %d", c.ID, c.Taker)
 		}
-		if c.Created.Before(dataset.SetupStart) || !c.Created.Before(dataset.StudyEnd) {
-			return fmt.Errorf("ingest: contract %d created outside the study window: %v", c.ID, c.Created)
+		if !dataset.InWindow(c.Created) {
+			return fmt.Errorf("ingest: %w: contract %d created %v", dataset.ErrOutOfWindow, c.ID, c.Created)
 		}
 		if !c.Completed.IsZero() && c.Completed.Before(c.Created) {
 			return fmt.Errorf("ingest: contract %d completed before creation", c.ID)
@@ -281,13 +281,18 @@ func Apply(d *dataset.Dataset, b *Batch) *dataset.Dataset {
 	for _, u := range b.Users {
 		users[u.ID] = u
 	}
-	return &dataset.Dataset{
+	nd := &dataset.Dataset{
 		Users:     users,
 		Threads:   d.Threads,
 		Posts:     d.Posts,
 		Contracts: append(d.Contracts[:len(d.Contracts):len(d.Contracts)], b.Contracts...),
 		Ledger:    d.Ledger,
 	}
+	// Extend the columnar projection incrementally too: the parent's blocks
+	// are shared and the batch becomes one new block, instead of the next
+	// Columns() call re-interning the whole corpus.
+	nd.ExtendColumnsFrom(d, b.Contracts)
+	return nd
 }
 
 // WriteBatchContractsCSV renders the batch's contracts in the canonical

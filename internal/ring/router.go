@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"turnup"
 	"turnup/internal/obs"
 	"turnup/internal/serve"
 	"turnup/internal/version"
@@ -464,22 +465,38 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	// Replicas first (concurrently, errors counted but not fatal — the
 	// owner's response is the contract), then the owner's answer relays.
+	// Replicas receive the compact binary form — already parsed, the
+	// encode is cheap, and RF-1 copies of a CSV/zip body are the larger
+	// fan-out cost — under a cloned request carrying the binary
+	// Content-Type. The owner gets the client's original bytes, so its
+	// response reflects exactly what was uploaded.
 	var wg sync.WaitGroup
-	for _, replica := range owners[1:] {
-		wg.Add(1)
-		go func(shard string) {
-			defer wg.Done()
-			resp, err := rt.forward(r.Context(), shard, r, raw)
-			if err != nil {
-				rt.reg.Counter("router_replica_errors_total").Inc()
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode >= 400 {
-				rt.reg.Counter("router_replica_errors_total").Inc()
-			}
-		}(replica)
+	if len(owners) > 1 {
+		var bin bytes.Buffer
+		if err := turnup.WriteBinary(&bin, d); err != nil {
+			rt.fail(w, r, http.StatusInternalServerError, serve.CodeInternal, err.Error())
+			return
+		}
+		rr := r.Clone(r.Context())
+		rr.Header = r.Header.Clone()
+		rr.Header.Set("Content-Type", turnup.ContentTypeBinary)
+		rr.Header.Del("Content-Length")
+		for _, replica := range owners[1:] {
+			wg.Add(1)
+			go func(shard string) {
+				defer wg.Done()
+				resp, err := rt.forward(rr.Context(), shard, rr, bin.Bytes())
+				if err != nil {
+					rt.reg.Counter("router_replica_errors_total").Inc()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 400 {
+					rt.reg.Counter("router_replica_errors_total").Inc()
+				}
+			}(replica)
+		}
 	}
 	rt.proxy(w, r, owners[:1], raw, false)
 	wg.Wait()

@@ -107,7 +107,7 @@ type Snapshot struct {
 func (s *Store) OnDrop(fn func(id string)) { s.onDrop = fn }
 
 // NewStore builds a dataset store retaining at most maxCount datasets and
-// maxBytes total canonical CSV bytes (<=0 means 16 datasets / 256 MiB).
+// maxBytes total binary-form bytes (<=0 means 16 datasets / 256 MiB).
 func NewStore(maxCount int, maxBytes int64, reg *obs.Registry) *Store {
 	if maxCount <= 0 {
 		maxCount = 16
@@ -130,9 +130,14 @@ func NewStore(maxCount int, maxBytes int64, reg *obs.Registry) *Store {
 // existing entry was refreshed). A dataset larger than the whole store is
 // rejected rather than admitted-then-evicted.
 func (s *Store) Add(d *turnup.Dataset) (info DatasetInfo, created bool, err error) {
-	digest, n := d.Digest()
+	// Identity is the canonical CSV digest (format-independent: a binary
+	// upload of the same corpus dedupes against its CSV twin); the byte
+	// accounting is the compact binary size, the form a stored dataset
+	// actually occupies and replicates in.
+	digest, _ := d.Digest()
+	n := d.BinarySize()
 	if n > s.maxBytes {
-		return DatasetInfo{}, false, fmt.Errorf("dataset of %d canonical bytes exceeds the store bound of %d", n, s.maxBytes)
+		return DatasetInfo{}, false, fmt.Errorf("dataset of %d binary bytes exceeds the store bound of %d", n, s.maxBytes)
 	}
 	var dropped []string
 	defer func() { s.fireDrops(dropped) }()
@@ -258,7 +263,7 @@ func (s *Store) Snapshot(id string) (*Snapshot, bool) {
 // hold (never stored, deleted, or evicted).
 var ErrUnknownDataset = errors.New("unknown dataset")
 
-// ErrStoreFull marks an append whose canonical bytes would grow the store
+// ErrStoreFull marks an append whose binary bytes would grow the store
 // past its byte bound — served as 413 dataset_too_large, like an
 // oversized upload.
 var ErrStoreFull = errors.New("dataset store byte bound exceeded")
@@ -272,13 +277,12 @@ var ErrStoreFull = errors.New("dataset store byte bound exceeded")
 // bound answers an error naming the bound; the dataset itself is kept at
 // its previous generation.
 func (s *Store) Append(id string, b *ingest.Batch) (DatasetInfo, error) {
-	// Render the batch's canonical CSV outside the lock: it feeds both the
-	// rolling digest and the byte accounting.
+	// Render the batch's canonical CSV outside the lock: the rolling digest
+	// commits to it. (Byte accounting is binary, measured after the apply.)
 	var contractsCSV, usersCSV bytes.Buffer
 	if err := writeBatchCSV(&contractsCSV, &usersCSV, b); err != nil {
 		return DatasetInfo{}, err
 	}
-	grow := int64(contractsCSV.Len() + usersCSV.Len())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -290,11 +294,15 @@ func (s *Store) Append(id string, b *ingest.Batch) (DatasetInfo, error) {
 	if err := b.ValidateAgainst(e.d); err != nil {
 		return DatasetInfo{}, err
 	}
-	if s.bytes+grow > s.maxBytes {
-		return DatasetInfo{}, fmt.Errorf("%w: append of %d canonical bytes exceeds the bound of %d", ErrStoreFull, grow, s.maxBytes)
-	}
 
 	nd := ingest.Apply(e.d, b)
+	// Growth is the binary-size delta of the extended corpus — the same
+	// accounting Add uses. Over the bound, the dataset keeps its previous
+	// generation (nd is simply discarded).
+	grow := nd.BinarySize() - e.info.Bytes
+	if s.bytes+grow > s.maxBytes {
+		return DatasetInfo{}, fmt.Errorf("%w: append of %d binary bytes exceeds the bound of %d", ErrStoreFull, grow, s.maxBytes)
+	}
 	h := sha256.New()
 	h.Write([]byte(e.info.Digest))
 	h.Write(contractsCSV.Bytes())
@@ -381,16 +389,18 @@ func (s *Store) Len() int {
 	return s.order.Len()
 }
 
-// ErrUnsupportedUpload marks an upload body whose Content-Type is
-// neither multipart form data nor a zip archive.
-var ErrUnsupportedUpload = errors.New("unsupported Content-Type: want multipart/form-data or application/zip")
+// ErrUnsupportedUpload marks an upload body whose Content-Type is none of
+// multipart form data, a zip archive, or the binary dataset form.
+var ErrUnsupportedUpload = errors.New("unsupported Content-Type: want multipart/form-data, application/zip, or " + turnup.ContentTypeBinary)
 
 // DecodeUpload parses a POST /v1/datasets body — the hfgen CSV pair as
-// multipart form files ("contracts", "users") or as a zip archive
-// holding contracts.csv and users.csv — into a validated Dataset,
-// bounding the body at maxBytes. It is shared with the router, which
-// must parse uploads too: ownership is by content digest, and the digest
-// only exists after a parse. Classify failures with UploadFailure.
+// multipart form files ("contracts", "users"), as a zip archive holding
+// contracts.csv and users.csv, or the versioned binary dataset form under
+// its dedicated Content-Type (the router's replication format) — into a
+// validated Dataset, bounding the body at maxBytes. It is shared with the
+// router, which must parse uploads too: ownership is by content digest,
+// and the digest only exists after a parse. Classify failures with
+// UploadFailure.
 func DecodeUpload(w http.ResponseWriter, r *http.Request, maxBytes int64) (*turnup.Dataset, error) {
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
@@ -402,6 +412,8 @@ func DecodeUpload(w http.ResponseWriter, r *http.Request, maxBytes int64) (*turn
 	switch {
 	case strings.HasPrefix(ct, "multipart/"):
 		d, err = readMultipartDataset(r)
+	case strings.HasPrefix(ct, turnup.ContentTypeBinary):
+		d, err = turnup.ReadBinary(r.Body)
 	case strings.Contains(ct, "zip"), ct == "", ct == "application/octet-stream":
 		d, err = readZipDataset(r.Body)
 	default:

@@ -122,7 +122,8 @@ func TestDatasetUploadReportEndToEnd(t *testing.T) {
 	if code != http.StatusCreated {
 		t.Fatalf("upload code=%d, want 201", code)
 	}
-	wantDigest, wantBytes := d.Digest()
+	wantDigest, _ := d.Digest()
+	wantBytes := d.BinarySize()
 	if info.Digest != wantDigest || info.Bytes != wantBytes {
 		t.Fatalf("upload info digest=%s bytes=%d, want %s/%d", info.Digest, info.Bytes, wantDigest, wantBytes)
 	}
@@ -303,9 +304,13 @@ func TestDatasetUploadErrors(t *testing.T) {
 // drop entries — distinct content, hence a distinct digest — cheap enough
 // to mint several datasets without re-running the simulator.
 func variantDataset(d *turnup.Dataset, drop int) *turnup.Dataset {
-	v := *d
-	v.Contracts = d.Contracts[:len(d.Contracts)-drop]
-	return &v
+	return &turnup.Dataset{
+		Users:     d.Users,
+		Threads:   d.Threads,
+		Posts:     d.Posts,
+		Contracts: d.Contracts[:len(d.Contracts)-drop],
+		Ledger:    d.Ledger,
+	}
 }
 
 // TestDatasetStoreEvictionAndDedupe pins the store bounds: identical

@@ -254,8 +254,7 @@ func TestStoreAppendSnapshotAndRootDigest(t *testing.T) {
 
 	// A store with no byte headroom refuses the append and keeps the
 	// dataset at its previous generation.
-	_, n := d.Digest()
-	small := serve.NewStore(4, n+8, obs.NewRegistry())
+	small := serve.NewStore(4, d.BinarySize()+8, obs.NewRegistry())
 	sinfo, _, err := small.Add(d)
 	if err != nil {
 		t.Fatal(err)

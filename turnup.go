@@ -88,10 +88,13 @@ func GenerateWithTruth(cfg Config) (*Dataset, *Truth, error) {
 	return market.Generate(cfg)
 }
 
-// Save writes the dataset (contracts.csv, users.csv) into dir.
+// Save writes the dataset into dir: the canonical CSV pair
+// (contracts.csv, users.csv) plus the versioned binary form (dataset.bin)
+// Load prefers.
 func Save(d *Dataset, dir string) error { return d.SaveDir(dir) }
 
-// Load reads a dataset previously written by Save. Loaded datasets carry
+// Load reads a dataset previously written by Save, decoding dataset.bin
+// when present and falling back to the CSV pair. Loaded datasets carry
 // an empty ledger, so the §4.5 high-value audit reports chain-quoting
 // contracts as unverifiable (see Dataset.HasLedger).
 func Load(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
@@ -105,6 +108,20 @@ func Load(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
 func ReadCSV(contracts, users io.Reader) (*Dataset, error) {
 	return dataset.Read(contracts, users)
 }
+
+// ContentTypeBinary is the Content-Type under which the binary dataset
+// form travels over HTTP (uploads and router replication).
+const ContentTypeBinary = dataset.ContentTypeBinary
+
+// ReadBinary parses a dataset from its versioned binary on-disk form —
+// the dataset.bin file Save writes alongside the CSV pair. The decoded
+// corpus is digest-identical to the CSV pair it was encoded from; the
+// ledger caveat on Load applies here too.
+func ReadBinary(r io.Reader) (*Dataset, error) { return dataset.DecodeBinary(r) }
+
+// WriteBinary encodes d in the versioned binary dataset format; the
+// counterpart of ReadBinary.
+func WriteBinary(w io.Writer, d *Dataset) error { return d.EncodeBinary(w) }
 
 // RunOptions selects which analyses Run performs.
 type RunOptions struct {
