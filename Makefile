@@ -8,6 +8,7 @@
 #   make bench-smoke     # fail if the suite regresses >2x vs BENCH_index.json
 #   make bench-columnar  # columnar-core benchmarks → BENCH_columnar.json + alloc gate
 #   make bench-serve     # cache-hit vs cold-request latency
+#   make bench-cache     # render-cache hot-hit vs re-render → BENCH_cache.json + 2x gate
 #   make bench-load      # hfload run against a booted hfserved → BENCH_serve_load.json
 #   make bench-load-router # hfload run through hfrouter over 2 shards → BENCH_router_load.json
 #   make router-smoke    # boot 2 shards + hfrouter, verify routing end to end
@@ -15,7 +16,7 @@
 #   make serve           # run the HTTP analysis service (hfserved)
 #   make check           # tier1 + tier2
 
-.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-columnar bench-serve bench-load bench-load-router router-smoke ingest-smoke serve
+.PHONY: tier1 tier2 check bench-baseline bench-parallel bench-index bench-smoke bench-columnar bench-serve bench-cache bench-load bench-load-router router-smoke ingest-smoke serve
 
 # Benchmarks that claim parallel speedups must run at full machine width;
 # an inherited GOMAXPROCS=1 (containers, cgroup limits) silently turns
@@ -117,6 +118,23 @@ bench-columnar:
 # gap is the result cache's value proposition (see DESIGN.md §3.3).
 bench-serve:
 	go test -run '^$$' -bench 'Serve' -benchtime 3x ./internal/serve/
+
+# Hot-path render-cache benchmark: the same fully-warm /v1/report request
+# served from the rendered-section cache versus re-rendered on every hit
+# (render tier disabled). Snapshots ns/op and B/op into BENCH_cache.json,
+# then gates: the cached hit must be at least 2x faster than the
+# re-render, or the tier is not paying for its memory.
+bench-cache:
+	go test -run '^$$' -bench 'ServeHotRender' -benchtime 200x -benchmem ./internal/serve/ \
+	| awk $(BENCH_JSON_AWK) \
+	> BENCH_cache.json
+	@echo "wrote BENCH_cache.json"
+	@cached=$$(awk '/"BenchmarkServeHotRenderCached"/ { match($$0, /"ns_per_op": [0-9.]+/); print substr($$0, RSTART + 13, RLENGTH - 13) }' BENCH_cache.json); \
+	uncached=$$(awk '/"BenchmarkServeHotRenderUncached"/ { match($$0, /"ns_per_op": [0-9.]+/); print substr($$0, RSTART + 13, RLENGTH - 13) }' BENCH_cache.json); \
+	awk -v cached="$$cached" -v uncached="$$uncached" 'BEGIN { \
+	  if (cached == "" || uncached == "") { print "bench-cache: missing measurement"; exit 1 } \
+	  if (2 * cached > uncached + 0) { printf("bench-cache: FAIL cached hit %.0f ns/op is not 2x faster than the %.0f re-render\n", cached, uncached); exit 1 } \
+	  printf("bench-cache: ok cached hit %.0f ns/op, re-render %.0f ns/op (%.1fx)\n", cached, uncached, uncached / cached) }'
 
 # Build version baked into hfserved/hfload (-version flag, /healthz,
 # the turnup_build_info metric, and the load report's version field).

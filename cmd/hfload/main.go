@@ -14,6 +14,14 @@
 //	dataset  reports over the uploaded dataset (?dataset=)
 //	events   POST /v1/datasets/{id}/events JSON-lines appends, each
 //	         followed by a windowed report (?window=30d)
+//	dense    cycles -dense-keys distinct seeds — a keyspace sized to
+//	         overflow a small -max-cache-bytes, keeping the server's
+//	         cache in continuous admit/evict
+//
+// At end of run the harness scrapes the target's /metrics (forcing a GC
+// first) and records runtime heap/goroutine gauges plus the serve-layer
+// cache gauges into the report; -heap-ceiling and -cache-budget turn
+// those samples into hard assertions for CI's memory-bound gate.
 //
 // Every request carries a deterministic X-Request-Id; the report counts
 // responses whose echoed id does not match (request_id_mismatches), so
@@ -66,11 +74,15 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "?scale= for report requests")
 	uploadScale := flag.Float64("upload-scale", 0.01, "scale of the generated upload corpus")
 	sections := flag.String("sections", "growth,corpus,concentration,payments", "sections cycled by section requests")
+	denseKeys := flag.Int("dense-keys", 512, "distinct seeds the dense mix kind cycles")
 	out := flag.String("out", "BENCH_serve_load.json", "report path (- for stdout)")
 	wait := flag.Duration("wait", 15*time.Second, "poll /healthz this long before starting")
 	gate := flag.String("gate", "", "baseline report: fail when p99 regresses beyond -gate-factor")
 	gateFactor := flag.Float64("gate-factor", 2, "allowed p99 ratio vs the -gate baseline")
 	sloP99 := flag.Duration("slo-p99", 0, "absolute overall-p99 ceiling (0 disables)")
+	heapCeiling := flag.Int64("heap-ceiling", 0, "end-of-run post-GC heap ceiling in bytes (0 disables)")
+	cacheBudget := flag.Int64("cache-budget", 0, "serve_cache_bytes must not exceed this at end of run (0 disables)")
+	renderBudget := flag.Int64("render-cache-budget", 0, "serve_render_cache_bytes must not exceed this at end of run (0 disables)")
 	logFormat := flag.String("log-format", "text", "progress log format: text, json, or none")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -105,6 +117,7 @@ func main() {
 		Scale:       *scale,
 		UploadScale: *uploadScale,
 		Sections:    splitList(*sections),
+		DenseKeys:   *denseKeys,
 		Logger:      logger,
 	})
 	if rep == nil {
@@ -160,6 +173,14 @@ func main() {
 		log.Printf("%v", err)
 		failed = true
 	}
+	if err := rep.CheckHeapCeiling(*heapCeiling); err != nil {
+		log.Printf("%v", err)
+		failed = true
+	}
+	if err := rep.CheckCacheBudget(*cacheBudget, *renderBudget); err != nil {
+		log.Printf("%v", err)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -186,6 +207,15 @@ func printSummary(rep *load.Report) {
 		rep.OverallMS.P50, rep.OverallMS.P95, rep.OverallMS.P99)
 	if rep.MissedTicks > 0 {
 		fmt.Fprintf(os.Stderr, "missed ticks: %d (target RPS exceeded sustainable rate)\n", rep.MissedTicks)
+	}
+	if len(rep.ServerMetrics) > 0 {
+		fmt.Fprintf(os.Stderr, "server: heap %.1f MiB  goroutines %.0f  cache %.1f MiB/%.0f entries  rendered %.1f MiB/%.0f entries\n",
+			rep.ServerMetrics["runtime_heap_alloc_bytes"]/(1<<20),
+			rep.ServerMetrics["runtime_goroutines"],
+			rep.ServerMetrics["serve_cache_bytes"]/(1<<20),
+			rep.ServerMetrics["serve_cache_entries"],
+			rep.ServerMetrics["serve_render_cache_bytes"]/(1<<20),
+			rep.ServerMetrics["serve_render_cache_entries"])
 	}
 	if len(rep.Shards) > 0 {
 		shards := make([]string, 0, len(rep.Shards))
@@ -226,11 +256,13 @@ func parseMix(s string) (load.Mix, error) {
 			m.Dataset = w
 		case "events":
 			m.Events = w
+		case "dense":
+			m.Dense = w
 		default:
-			return m, fmt.Errorf("unknown mix kind %q (want hot, cold, section, upload, dataset, events)", k)
+			return m, fmt.Errorf("unknown mix kind %q (want hot, cold, section, upload, dataset, events, dense)", k)
 		}
 	}
-	if m.Hot+m.Cold+m.Section+m.Upload+m.Dataset+m.Events == 0 {
+	if m.Hot+m.Cold+m.Section+m.Upload+m.Dataset+m.Events+m.Dense == 0 {
 		return m, fmt.Errorf("mix %q has no positive weights", s)
 	}
 	return m, nil

@@ -76,7 +76,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfserved: ")
 	addr := flag.String("addr", ":8080", "listen address")
-	cache := flag.Int("cache", 64, "completed results retained in the LRU")
+	cache := flag.Int("cache", 64, "completed results retained in the LRU (count bound, secondary to -max-cache-bytes)")
+	maxCacheBytes := flag.Int64("max-cache-bytes", 1<<30, "result cache byte budget; entries are sized at admission and evicted by bytes")
+	cacheEntryFrac := flag.Float64("cache-entry-frac", 0.25, "admission bound: results larger than this fraction of -max-cache-bytes are served but never cached")
+	renderCacheBytes := flag.Int64("render-cache-bytes", 64<<20, "rendered-section cache byte budget (0 = default, negative disables the tier)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "max age a cached result is served (0 = no age bound; generation keying still invalidates on append)")
 	maxRuns := flag.Int("max-runs", 2, "concurrent pipeline runs (cache hits bypass this cap)")
 	workers := flag.Int("workers", 0, "concurrent analysis stages per run (0 = GOMAXPROCS)")
@@ -120,21 +123,24 @@ func main() {
 		defer stopCollector()
 	}
 	srv := serve.New(serve.Options{
-		Shard:           *shard,
-		CacheSize:       *cache,
-		CacheTTL:        *cacheTTL,
-		MaxRuns:         *maxRuns,
-		Workers:         *workers,
-		MaxScale:        *maxScale,
-		DefaultScale:    *defaultScale,
-		DefaultK:        *defaultK,
-		MaxDatasets:     *maxDatasets,
-		MaxDatasetBytes: *maxDatasetBytes,
-		Metrics:         reg,
-		AccessLog:       accessLog,
-		Trace:           tracer,
-		Pprof:           *pprofFlag,
-		BaseContext:     runCtx,
+		Shard:            *shard,
+		CacheSize:        *cache,
+		MaxCacheBytes:    *maxCacheBytes,
+		CacheEntryFrac:   *cacheEntryFrac,
+		RenderCacheBytes: *renderCacheBytes,
+		CacheTTL:         *cacheTTL,
+		MaxRuns:          *maxRuns,
+		Workers:          *workers,
+		MaxScale:         *maxScale,
+		DefaultScale:     *defaultScale,
+		DefaultK:         *defaultK,
+		MaxDatasets:      *maxDatasets,
+		MaxDatasetBytes:  *maxDatasetBytes,
+		Metrics:          reg,
+		AccessLog:        accessLog,
+		Trace:            tracer,
+		Pprof:            *pprofFlag,
+		BaseContext:      runCtx,
 	})
 	// Listen explicitly (rather than ListenAndServe) so ":0" ephemeral
 	// binds log the port that was actually chosen.

@@ -1,0 +1,124 @@
+package analysis
+
+import "reflect"
+
+// SizeBytes estimates the resident heap footprint of a completed Suite:
+// the struct itself plus everything reachable from it — slice backing
+// arrays (at capacity, since that is what the allocator holds), map
+// buckets, strings, and pointed-to values. The serve-layer result cache
+// calls it exactly once per admission and keys its byte budget on the
+// estimate, so the walk favours being cheap and deterministic over being
+// exact: shared backing arrays are counted once per reachable slice
+// header (a deliberate overestimate — the cache would rather evict early
+// than blow its budget), and map overhead is approximated per entry.
+func (s *Suite) SizeBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	w := sizeWalker{seen: make(map[uintptr]bool)}
+	v := reflect.ValueOf(s)
+	w.walk(v)
+	return w.bytes + int64(v.Type().Elem().Size())
+}
+
+// sizeWalker accumulates reachable bytes. seen tracks pointer and map
+// identities so shared nodes (and any accidental cycle) are counted once.
+type sizeWalker struct {
+	bytes int64
+	seen  map[uintptr]bool
+}
+
+// walk adds the heap bytes reachable *through* v. The immediate storage
+// of v itself is the caller's: a struct field's inline bytes are part of
+// the struct, a pointee's are added at the dereference site.
+func (w *sizeWalker) walk(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.String:
+		w.bytes += int64(v.Len())
+	case reflect.Slice:
+		if v.IsNil() || v.Cap() == 0 {
+			return
+		}
+		if p := v.Pointer(); w.seen[p] {
+			return
+		} else {
+			w.seen[p] = true
+		}
+		elem := v.Type().Elem()
+		w.bytes += int64(v.Cap()) * int64(elem.Size())
+		if hasIndirections(elem) {
+			for i := 0; i < v.Len(); i++ {
+				w.walk(v.Index(i))
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			return
+		}
+		if p := v.Pointer(); w.seen[p] {
+			return
+		} else {
+			w.seen[p] = true
+		}
+		kt, vt := v.Type().Key(), v.Type().Elem()
+		// Approximate bucket overhead: key + value storage plus ~16 bytes
+		// of per-entry bookkeeping (tophash, bucket slack).
+		w.bytes += int64(v.Len()) * (int64(kt.Size()) + int64(vt.Size()) + 16)
+		if hasIndirections(kt) || hasIndirections(vt) {
+			it := v.MapRange()
+			for it.Next() {
+				w.walk(it.Key())
+				w.walk(it.Value())
+			}
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			return
+		}
+		if p := v.Pointer(); w.seen[p] {
+			return
+		} else {
+			w.seen[p] = true
+		}
+		w.bytes += int64(v.Type().Elem().Size())
+		w.walk(v.Elem())
+	case reflect.Interface:
+		if !v.IsNil() {
+			w.walk(v.Elem())
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if hasIndirections(t.Field(i).Type) {
+				w.walk(v.Field(i))
+			}
+		}
+	case reflect.Array:
+		if hasIndirections(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				w.walk(v.Index(i))
+			}
+		}
+	}
+}
+
+// hasIndirections reports whether values of type t can reference heap
+// memory beyond their inline storage — the pruning test that lets walk
+// skip scanning large flat slices ([]float64, []int) element by element.
+func hasIndirections(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.String, reflect.Slice, reflect.Map, reflect.Pointer, reflect.Interface:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasIndirections(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return hasIndirections(t.Elem())
+	default:
+		return false
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,12 @@ type Mix struct {
 	Upload  int `json:"upload"`
 	Dataset int `json:"dataset"`
 	Events  int `json:"events"`
+	// Dense cycles Config.DenseKeys distinct report seeds — a keyspace
+	// sized to overflow a small -max-cache-bytes budget, so the run
+	// continuously admits and evicts (the memory-bound proof workload)
+	// while still revisiting keys often enough to measure evicted-key
+	// re-miss latency.
+	Dense int `json:"dense,omitempty"`
 }
 
 // DefaultMix is a cache-friendly blend: mostly hot traffic with a steady
@@ -66,7 +73,9 @@ type Mix struct {
 // event appends.
 func DefaultMix() Mix { return Mix{Hot: 6, Cold: 1, Section: 2, Upload: 1, Dataset: 2, Events: 1} }
 
-func (m Mix) total() int { return m.Hot + m.Cold + m.Section + m.Upload + m.Dataset + m.Events }
+func (m Mix) total() int {
+	return m.Hot + m.Cold + m.Section + m.Upload + m.Dataset + m.Events + m.Dense
+}
 
 // kind indexes the request kinds in Mix order. kindWindow is never drawn
 // by pick — each successful events append issues one windowed report as a
@@ -81,12 +90,13 @@ const (
 	kindUpload
 	kindDataset
 	kindEvents
+	kindDense
 	kindWindow
 )
 
 // routeNames label the per-kind latency series in the report and the
 // registry (load_request_seconds{route=...}).
-var routeNames = [...]string{"report:hot", "report:cold", "report:section", "datasets:upload", "report:dataset", "events:append", "report:window"}
+var routeNames = [...]string{"report:hot", "report:cold", "report:section", "datasets:upload", "report:dataset", "events:append", "report:dense", "report:window"}
 
 // Config parameterises one load run. Zero values default sanely; only
 // BaseURL is required.
@@ -101,6 +111,7 @@ type Config struct {
 	Scale       float64  // ?scale= for report requests (default 0.02)
 	UploadScale float64  // scale of the generated upload corpus (default 0.01)
 	Sections    []string // cycled by section requests (default growth, corpus, concentration, payments)
+	DenseKeys   int      // distinct seeds the dense mix cycles (default 512)
 
 	Client   *http.Client  // default: 30s-timeout client
 	Registry *obs.Registry // receives load_request_seconds histograms (fresh when nil)
@@ -156,6 +167,12 @@ type Report struct {
 	Shards map[string]int64 `json:"shards,omitempty"`
 	Hedged int64            `json:"hedged,omitempty"`
 	Routes []RouteReport    `json:"routes"`
+	// ServerMetrics is the end-of-run /metrics?format=json&gc=1 sample:
+	// runtime health (heap_bytes after a forced GC, goroutines) and the
+	// serve-layer cache gauges/counters, keyed by metric name. Nil when the
+	// target does not answer /metrics (or the sample failed) — the memory
+	// assertions then fail loudly rather than pass vacuously.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
 // routeStats accumulates one route's counters; latencies live in the
@@ -166,17 +183,18 @@ type routeStats struct {
 
 // runner is the per-run state shared by the workers.
 type runner struct {
-	cfg     Config
-	client  *http.Client
-	reg     *obs.Registry
-	stats   [len(routeNames)]routeStats
-	seq     atomic.Uint64 // request-id sequence
-	coldSeq atomic.Uint64 // unique seeds for cold requests
-	secSeq  atomic.Uint64 // section rotation
-	evSeq   atomic.Uint64 // unique user/contract ids for event batches
-	missed  atomic.Int64
-	idBad   atomic.Int64
-	hedged  atomic.Int64
+	cfg      Config
+	client   *http.Client
+	reg      *obs.Registry
+	stats    [len(routeNames)]routeStats
+	seq      atomic.Uint64 // request-id sequence
+	coldSeq  atomic.Uint64 // unique seeds for cold requests
+	secSeq   atomic.Uint64 // section rotation
+	evSeq    atomic.Uint64 // unique user/contract ids for event batches
+	denseSeq atomic.Uint64 // dense keyspace rotation
+	missed   atomic.Int64
+	idBad    atomic.Int64
+	hedged   atomic.Int64
 
 	shardMu sync.Mutex
 	shards  map[string]int64 // responses per X-Shard value
@@ -260,6 +278,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if len(cfg.Sections) == 0 {
 		cfg.Sections = []string{"growth", "corpus", "concentration", "payments"}
 	}
+	if cfg.DenseKeys <= 0 {
+		cfg.DenseKeys = 512
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -319,6 +340,11 @@ dispatch:
 	elapsed := time.Since(start)
 
 	rep := r.report(elapsed)
+	if sm, err := SampleServerMetrics(ctx, cfg.Client, cfg.BaseURL); err == nil {
+		rep.ServerMetrics = sm
+	} else {
+		cfg.Logger.Log("load_metrics_sample_failed", obs.F("err", err.Error()))
+	}
 	cfg.Logger.Log("load_done",
 		obs.F("requests", rep.Requests), obs.F("errors", rep.Errors),
 		obs.F("achieved_rps", rep.AchievedRPS), obs.F("p99_ms", rep.OverallMS.P99))
@@ -332,7 +358,7 @@ dispatch:
 func (r *runner) pick(rng *rand.Rand) kind {
 	m := r.cfg.Mix
 	n := rng.Intn(m.total())
-	for i, w := range []int{m.Hot, m.Cold, m.Section, m.Upload, m.Dataset, m.Events} {
+	for i, w := range []int{m.Hot, m.Cold, m.Section, m.Upload, m.Dataset, m.Events, m.Dense} {
 		if n < w {
 			return kind(i)
 		}
@@ -441,6 +467,15 @@ func (r *runner) do(ctx context.Context, k kind) {
 		if err == nil {
 			req.Header.Set("Content-Type", "application/x-ndjson")
 		}
+	case kindDense:
+		// Cycle a dense keyspace disjoint from the hot and cold seed ranges:
+		// with a budget smaller than DenseKeys results, the cache is in
+		// continuous admit/evict, which is exactly the state the memory-bound
+		// assertions sample at the end of the run.
+		seed := r.cfg.Seed*10_000_000 + r.denseSeq.Add(1)%uint64(r.cfg.DenseKeys)
+		req, err = http.NewRequestWithContext(ctx, "GET",
+			fmt.Sprintf("%s/v1/report/%s?seed=%d&scale=%g&models=false",
+				r.cfg.BaseURL, r.cfg.Sections[0], seed, r.cfg.Scale), nil)
 	case kindWindow:
 		req, err = http.NewRequestWithContext(ctx, "GET",
 			fmt.Sprintf("%s/v1/report/%s?dataset=%s&window=30d&models=false",
@@ -651,4 +686,98 @@ func (rep *Report) CheckSLO(p99ms float64) error {
 		return fmt.Errorf("load: overall p99 %.2fms exceeds the %.2fms SLO", rep.OverallMS.P99, p99ms)
 	}
 	return nil
+}
+
+// serverMetricPrefixes selects which of the target's metrics land in
+// Report.ServerMetrics: runtime health plus every serve-layer cache
+// series — the inputs of the heap-ceiling and cache-budget assertions and
+// the gauges the benchmark snapshot archives.
+var serverMetricPrefixes = []string{"runtime_", "serve_cache_", "serve_render_cache_", "serve_http_304"}
+
+// SampleServerMetrics scrapes the target's /metrics JSON snapshot with
+// gc=1 — the server garbage-collects and resamples its runtime gauges
+// first, so heap_alloc reflects live bytes (retained caches, datasets),
+// not floating garbage from the load just applied. Only scalar metrics
+// matching serverMetricPrefixes are kept.
+func SampleServerMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]float64, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/metrics?format=json&gc=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("load: sampling /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: sampling /metrics: status %d", resp.StatusCode)
+	}
+	var snap []struct {
+		Name  string  `json:"name"`
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("load: decoding /metrics snapshot: %w", err)
+	}
+	out := make(map[string]float64)
+	for _, m := range snap {
+		if m.Kind != "counter" && m.Kind != "gauge" {
+			continue
+		}
+		for _, prefix := range serverMetricPrefixes {
+			if strings.HasPrefix(m.Name, prefix) {
+				out[m.Name] = m.Value
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckHeapCeiling enforces an absolute end-of-run heap ceiling (bytes)
+// over the post-GC runtime_heap_alloc_bytes sample — the CI memory-bound
+// assertion: a byte-budgeted cache under a dense keyspace must leave the
+// heap near its budget, not growing with the keyspace. A missing sample
+// is an error, not a pass.
+func (rep *Report) CheckHeapCeiling(maxBytes int64) error {
+	if maxBytes <= 0 {
+		return nil
+	}
+	heap, ok := rep.ServerMetrics["runtime_heap_alloc_bytes"]
+	if !ok {
+		return errors.New("load: heap ceiling set but no runtime_heap_alloc_bytes sample (target /metrics unreachable?)")
+	}
+	if int64(heap) > maxBytes {
+		return fmt.Errorf("load: end-of-run heap %.1f MiB exceeds the %.1f MiB ceiling",
+			heap/(1<<20), float64(maxBytes)/(1<<20))
+	}
+	return nil
+}
+
+// CheckCacheBudget asserts the serve-layer byte accounting held: the
+// serve_cache_bytes gauge (and the render tier's) must not exceed its
+// configured budget at end of run. Like CheckHeapCeiling, a missing
+// sample fails.
+func (rep *Report) CheckCacheBudget(resultBudget, renderBudget int64) error {
+	check := func(name string, budget int64) error {
+		if budget <= 0 {
+			return nil
+		}
+		got, ok := rep.ServerMetrics[name]
+		if !ok {
+			return fmt.Errorf("load: budget set but no %s sample (target /metrics unreachable?)", name)
+		}
+		if int64(got) > budget {
+			return fmt.Errorf("load: %s %.0f exceeds the %d-byte budget", name, got, budget)
+		}
+		return nil
+	}
+	return errors.Join(
+		check("serve_cache_bytes", resultBudget),
+		check("serve_render_cache_bytes", renderBudget),
+	)
 }

@@ -24,19 +24,7 @@ func StartRuntimeCollector(reg *Registry, every time.Duration) (stop func()) {
 	if every <= 0 {
 		every = 5 * time.Second
 	}
-	sample := func() {
-		reg.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
-		reg.Gauge("runtime_gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		reg.Gauge("runtime_heap_alloc_bytes").Set(float64(m.HeapAlloc))
-		reg.Gauge("runtime_heap_objects").Set(float64(m.HeapObjects))
-		reg.Gauge("runtime_gc_runs_total").Set(float64(m.NumGC))
-		reg.Gauge("runtime_gc_pause_total_seconds").Set(float64(m.PauseTotalNs) / 1e9)
-		if m.NumGC > 0 {
-			reg.Gauge("runtime_gc_last_pause_seconds").Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
-		}
-	}
+	sample := func() { SampleRuntime(reg) }
 	sample()
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -60,5 +48,27 @@ func StartRuntimeCollector(reg *Registry, every time.Duration) (stop func()) {
 			close(done)
 			wg.Wait()
 		})
+	}
+}
+
+// SampleRuntime takes one synchronous runtime sample into reg's gauges —
+// the collector's tick body, exported so /metrics?gc=1 can serve a
+// fresh-as-of-now heap reading instead of one up to a tick stale (the
+// load harness's end-of-run heap assertion needs the former). A nil
+// registry is a no-op.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("runtime_gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	reg.Gauge("runtime_heap_alloc_bytes").Set(float64(m.HeapAlloc))
+	reg.Gauge("runtime_heap_objects").Set(float64(m.HeapObjects))
+	reg.Gauge("runtime_gc_runs_total").Set(float64(m.NumGC))
+	reg.Gauge("runtime_gc_pause_total_seconds").Set(float64(m.PauseTotalNs) / 1e9)
+	if m.NumGC > 0 {
+		reg.Gauge("runtime_gc_last_pause_seconds").Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
 	}
 }

@@ -46,6 +46,36 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkServeHotRenderCached measures the full hot path with the
+// rendered-section cache at its default budget: after the priming run,
+// every iteration serves the full /v1/report body as a memcpy of the
+// cached rendering.
+func BenchmarkServeHotRenderCached(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Options{}))
+	defer ts.Close()
+	url := ts.URL + "/v1/report?seed=1&scale=0.02&models=false"
+	benchGet(b, url) // prime both cache tiers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, url)
+	}
+}
+
+// BenchmarkServeHotRenderUncached is the same hot request with the render
+// tier disabled: every iteration is a result-cache hit that still pays
+// for a full report render. The ratio against ServeHotRenderCached is the
+// render cache's value proposition and the bench-cache gate (≥2x).
+func BenchmarkServeHotRenderUncached(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Options{RenderCacheBytes: -1}))
+	defer ts.Close()
+	url := ts.URL + "/v1/report?seed=1&scale=0.02&models=false"
+	benchGet(b, url) // prime the result cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, url)
+	}
+}
+
 // BenchmarkServeCold measures unique requests: every iteration uses a
 // fresh seed, so each pays for a full pipeline run through the real
 // runner at Scale 0.02 (descriptive stages only).

@@ -129,19 +129,31 @@ const (
 // without pipeline cost.
 type RunFunc func(ctx context.Context, p Params, snap *Snapshot) (*turnup.Results, error)
 
-// Cache is the deduplicating result cache. All three request outcomes are
-// counted in the registry (serve_cache_{hits,misses,coalesced}_total,
-// serve_cache_evictions_total) so cache behaviour is observable on
-// /metrics, which is also how the tests assert it.
+// Cache is the deduplicating, byte-accounted result cache. Entries are
+// bounded twice over: a byte budget (MaxBytes, the primary bound — each
+// result's resident size is estimated once at admission and the LRU
+// evicts by bytes) and an entry-count cap (a secondary bound against
+// pathological many-tiny-results keyspaces). An admission policy keeps a
+// single giant result from flushing the whole working set: results larger
+// than MaxEntryFrac of the budget are returned to their waiters but never
+// cached. All outcomes are counted in the registry
+// (serve_cache_{hits,misses,coalesced,rejected}_total,
+// serve_cache_evictions_total, and the serve_cache_bytes/serve_cache_entries
+// gauges) so cache behaviour is observable on /metrics, which is also how
+// the tests assert it.
 type Cache struct {
-	runner RunFunc
-	base   context.Context // run lifetime: cancelling it aborts in-flight runs
-	sem    chan struct{}   // caps concurrent pipeline runs
-	cap    int             // completed results retained
-	ttl    time.Duration   // max age a completed result is served (0 = forever)
-	reg    *obs.Registry
+	runner   RunFunc
+	base     context.Context // run lifetime: cancelling it aborts in-flight runs
+	sem      chan struct{}   // caps concurrent pipeline runs
+	cap      int             // completed results retained (count bound)
+	maxBytes int64           // byte budget over retained results
+	maxEntry int64           // admission bound: larger results are never cached
+	ttl      time.Duration   // max age a completed result is served (0 = forever)
+	sizer    func(*turnup.Results) int64
+	reg      *obs.Registry
 
 	mu       sync.Mutex
+	bytes    int64                    // sum of retained entry sizes; mirrors serve_cache_bytes
 	order    *list.List               // completed *cacheEntry, front = most recent
 	byKey    map[string]*list.Element // Params.Key → order element
 	inflight map[string]*flight       // Params.Key → running flight
@@ -149,12 +161,14 @@ type Cache struct {
 
 // cacheEntry is one completed result in the LRU. The canonical Params are
 // retained so EvictWhere can match entries semantically (by dataset id or
-// generation) without reversing the hashed key.
+// generation) without reversing the hashed key; size is the admission-time
+// estimate the byte accounting credits back on eviction.
 type cacheEntry struct {
-	key string
-	p   Params
-	res *turnup.Results
-	at  time.Time // completion time, the TTL anchor
+	key  string
+	p    Params
+	res  *turnup.Results
+	size int64
+	at   time.Time // completion time, the TTL anchor
 }
 
 // flight is one in-progress run; every coalesced waiter blocks on done,
@@ -165,38 +179,105 @@ type flight struct {
 	err  error
 }
 
+// CacheConfig bounds a Cache. Zero values default sanely, so tests and
+// callers set only what they pin.
+type CacheConfig struct {
+	// Capacity is the entry-count bound (<=0 means 64) — secondary to the
+	// byte budget, it stops many-tiny-results keyspaces from growing the
+	// bookkeeping without bound.
+	Capacity int
+	// MaxBytes is the byte budget over retained results (<=0 means 1 GiB).
+	// The sum of admitted entry sizes never exceeds it.
+	MaxBytes int64
+	// MaxEntryFrac is the admission bound as a fraction of MaxBytes: a
+	// result estimated larger than MaxEntryFrac*MaxBytes is served to its
+	// waiters but never cached, so one giant result cannot flush the
+	// working set. <=0 means 0.25; values >1 clamp to 1.
+	MaxEntryFrac float64
+	// MaxRuns caps concurrent pipeline runs (<=0 means 2).
+	MaxRuns int
+	// TTL bounds how long a completed result is served before it is re-run
+	// (<=0 means no age bound — generation keying already invalidates
+	// dataset-backed results exactly; the TTL is a belt-and-braces bound
+	// for deployments that want one).
+	TTL time.Duration
+	// Sizer overrides the admission-size estimate (tests pin byte
+	// accounting with deterministic sizes); nil means Results.SizeBytes.
+	Sizer func(*turnup.Results) int64
+}
+
 // NewCache builds a cache over runner. base bounds the lifetime of every
 // run this cache starts (nil means background — runs are then only
-// bounded by completion); capacity is the number of completed results
-// retained (<=0 means 64); maxRuns caps concurrent runs (<=0 means 2);
-// ttl bounds how long a completed result is served before it is re-run
-// (<=0 means no age bound — generation keying already invalidates
-// dataset-backed results exactly, so the TTL is a belt-and-braces bound
-// for deployments that want one).
-func NewCache(base context.Context, runner RunFunc, capacity, maxRuns int, ttl time.Duration, reg *obs.Registry) *Cache {
+// bounded by completion); see CacheConfig for the bounds.
+func NewCache(base context.Context, runner RunFunc, cfg CacheConfig, reg *obs.Registry) *Cache {
 	if base == nil {
 		base = context.Background()
 	}
-	if capacity <= 0 {
-		capacity = 64
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
 	}
-	if maxRuns <= 0 {
-		maxRuns = 2
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 30
 	}
-	if ttl < 0 {
-		ttl = 0
+	if cfg.MaxEntryFrac <= 0 {
+		cfg.MaxEntryFrac = 0.25
 	}
-	return &Cache{
+	if cfg.MaxEntryFrac > 1 {
+		cfg.MaxEntryFrac = 1
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 2
+	}
+	if cfg.TTL < 0 {
+		cfg.TTL = 0
+	}
+	sizer := cfg.Sizer
+	if sizer == nil {
+		sizer = func(res *turnup.Results) int64 { return res.SizeBytes() }
+	}
+	// Pre-register every counter the cache can increment so the exposition
+	// carries them at 0 from boot — scrapers (and the CI smoke greps) see
+	// the full vocabulary before the first hit or eviction occurs.
+	for _, name := range []string{
+		"serve_cache_hits_total", "serve_cache_misses_total",
+		"serve_cache_coalesced_total", "serve_cache_evictions_total",
+		"serve_cache_expirations_total", "serve_cache_invalidations_total",
+		"serve_cache_rejected_total", "serve_runs_total",
+	} {
+		reg.Counter(name)
+	}
+	c := &Cache{
 		runner:   runner,
 		base:     base,
-		sem:      make(chan struct{}, maxRuns),
-		cap:      capacity,
-		ttl:      ttl,
+		sem:      make(chan struct{}, cfg.MaxRuns),
+		cap:      cfg.Capacity,
+		maxBytes: cfg.MaxBytes,
+		maxEntry: int64(cfg.MaxEntryFrac * float64(cfg.MaxBytes)),
+		ttl:      cfg.TTL,
+		sizer:    sizer,
 		reg:      reg,
 		order:    list.New(),
 		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 	}
+	c.syncGauges()
+	return c
+}
+
+// syncGauges mirrors the byte and entry accounting into the registry;
+// callers hold mu, so the gauge always reflects a consistent state.
+func (c *Cache) syncGauges() {
+	c.reg.Gauge("serve_cache_bytes").Set(float64(c.bytes))
+	c.reg.Gauge("serve_cache_entries").Set(float64(c.order.Len()))
+}
+
+// removeLocked drops el from the LRU and credits its bytes back. Callers
+// hold mu and count the reason (eviction, expiration, invalidation).
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	delete(c.byKey, e.key)
+	c.order.Remove(el)
+	c.bytes -= e.size
 }
 
 // Get returns the results for p: from the LRU when present (and younger
@@ -218,8 +299,8 @@ func (c *Cache) Get(ctx context.Context, p Params, snap *Snapshot) (*turnup.Resu
 		e := el.Value.(*cacheEntry)
 		if c.ttl > 0 && time.Since(e.at) > c.ttl {
 			// Expired: drop the entry and fall through to a fresh run.
-			delete(c.byKey, key)
-			c.order.Remove(el)
+			c.removeLocked(el)
+			c.syncGauges()
 			c.reg.Counter("serve_cache_expirations_total").Inc()
 		} else {
 			c.order.MoveToFront(el)
@@ -286,19 +367,33 @@ func (c *Cache) run(key string, p Params, snap *Snapshot, f *flight) {
 }
 
 // finish retires the flight: it leaves the in-flight table, a successful
-// result enters the LRU front (evicting beyond capacity from the back),
-// and done is closed to release every waiter.
+// result is sized and — when it passes admission — enters the LRU front,
+// evicting from the back until both the byte budget and the entry cap
+// hold again; done is closed to release every waiter. The size estimate
+// is computed before taking the lock: walking a Scale-1.0 result is
+// real work and must not serialise unrelated cache traffic.
 func (c *Cache) finish(key string, p Params, f *flight, res *turnup.Results, err error) {
+	var size int64
+	if err == nil {
+		size = c.sizer(res)
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if err == nil {
-		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, p: p, res: res, at: time.Now()})
-		for c.order.Len() > c.cap {
-			back := c.order.Back()
-			delete(c.byKey, back.Value.(*cacheEntry).key)
-			c.order.Remove(back)
+	switch {
+	case err != nil:
+	case size > c.maxEntry:
+		// Admission policy: a single result that would occupy more than
+		// MaxEntryFrac of the budget is not worth the working set it would
+		// evict. Waiters still get the result; it is just never retained.
+		c.reg.Counter("serve_cache_rejected_total").Inc()
+	default:
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, p: p, res: res, size: size, at: time.Now()})
+		c.bytes += size
+		for c.order.Len() > c.cap || c.bytes > c.maxBytes {
+			c.removeLocked(c.order.Back())
 			c.reg.Counter("serve_cache_evictions_total").Inc()
 		}
+		c.syncGauges()
 	}
 	c.mu.Unlock()
 	f.res, f.err = res, err
@@ -318,15 +413,14 @@ func (c *Cache) EvictWhere(pred func(Params) bool) int {
 	n := 0
 	for el := c.order.Front(); el != nil; {
 		next := el.Next()
-		e := el.Value.(*cacheEntry)
-		if pred(e.p) {
-			delete(c.byKey, e.key)
-			c.order.Remove(el)
+		if pred(el.Value.(*cacheEntry).p) {
+			c.removeLocked(el)
 			n++
 		}
 		el = next
 	}
 	if n > 0 {
+		c.syncGauges()
 		c.reg.Counter("serve_cache_invalidations_total").Add(int64(n))
 	}
 	return n
@@ -337,4 +431,34 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Bytes reports the byte accounting over retained results — the value the
+// serve_cache_bytes gauge mirrors.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// EntryInfo describes one retained result for introspection: the hashed
+// key, its admission-time size estimate, and the canonical Params. The
+// byte-accounting invariant test sums Bytes over Entries and requires it
+// to equal both Cache.Bytes and the serve_cache_bytes gauge.
+type EntryInfo struct {
+	Key    string
+	Bytes  int64
+	Params Params
+}
+
+// Entries lists the retained results, most recently used first.
+func (c *Cache) Entries() []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, EntryInfo{Key: e.key, Bytes: e.size, Params: e.p})
+	}
+	return out
 }

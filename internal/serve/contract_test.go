@@ -185,6 +185,62 @@ func TestShutdownErrorCode(t *testing.T) {
 	}
 }
 
+// TestCacheHeaderParityContract pins the satellite of the render-cache
+// tier: X-Cache, X-Request-Id, X-Shard, X-Dataset-Generation, and ETag
+// must appear on render-cache hits and on 304 Not Modified responses
+// exactly as they do on a full-bodied cold response. Clients key
+// revalidation and staleness decisions on these headers, so a cache tier
+// that strips them is an API break even though the body bytes match.
+func TestCacheHeaderParityContract(t *testing.T) {
+	srv := serve.New(serve.Options{
+		Shard: "http://shard-a.test",
+		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
+			return tinyResults(t), nil
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	contracts, users := csvPair(t, tinyDataset(t))
+	code, info := upload(t, ts.URL, contracts, users)
+	if code/100 != 2 {
+		t.Fatalf("upload status=%d", code)
+	}
+	url := ts.URL + "/v1/report/growth?dataset=" + info.ID
+	rid := map[string]string{"X-Request-Id": "parity-1"}
+
+	cold, coldBody := getHdr(t, url, rid)
+	if cold.StatusCode != http.StatusOK || len(coldBody) == 0 {
+		t.Fatalf("cold: status=%d body=%dB", cold.StatusCode, len(coldBody))
+	}
+	etag := cold.Header.Get("ETag")
+	gen := cold.Header.Get("X-Dataset-Generation")
+	if etag == "" || gen == "" {
+		t.Fatalf("cold response missing validators: etag=%q generation=%q", etag, gen)
+	}
+
+	hit, hitBody := getHdr(t, url, rid)
+	cond, condBody := getHdr(t, url, map[string]string{"X-Request-Id": "parity-1", "If-None-Match": etag})
+	if hit.Header.Get("X-Cache") != "hit" || string(hitBody) != string(coldBody) {
+		t.Fatalf("warm: X-Cache=%q body match=%v", hit.Header.Get("X-Cache"), string(hitBody) == string(coldBody))
+	}
+	if cond.StatusCode != http.StatusNotModified || len(condBody) != 0 {
+		t.Fatalf("conditional: status=%d body=%dB, want 304 empty", cond.StatusCode, len(condBody))
+	}
+	for name, resp := range map[string]*http.Response{"render-cache hit": hit, "304": cond} {
+		for hdr, want := range map[string]string{
+			"X-Cache":              "hit",
+			"X-Request-Id":         "parity-1",
+			"X-Shard":              "http://shard-a.test",
+			"X-Dataset-Generation": gen,
+			"ETag":                 etag,
+		} {
+			if got := resp.Header.Get(hdr); got != want {
+				t.Errorf("%s response: %s=%q, want %q", name, hdr, got, want)
+			}
+		}
+	}
+}
+
 // TestSuccessMetadataContract asserts every /v1/* JSON success body
 // carries the uniform metadata and that the named-field (non-bare-array)
 // shapes hold for the registry endpoints.

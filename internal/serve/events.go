@@ -65,10 +65,11 @@ func (s *Server) applyEvents(w http.ResponseWriter, r *http.Request, id string, 
 		s.fail(w, r, status, code, err)
 		return
 	}
-	// Invalidate superseded generations only; the new generation's entries
-	// (none yet, but coalesced runs may land soon) are untouched, and other
-	// datasets' results are untouched.
-	s.cache.EvictWhere(func(p Params) bool {
+	// Invalidate superseded generations only — in both cache tiers, so a
+	// stale rendered body cannot outlive its result; the new generation's
+	// entries (none yet, but coalesced runs may land soon) are untouched,
+	// and other datasets' results are untouched.
+	s.Invalidate(func(p Params) bool {
 		return p.Dataset == id && p.Generation < info.Generation
 	})
 	w.Header().Set("X-Dataset-Generation", strconv.FormatUint(info.Generation, 10))

@@ -1,0 +1,43 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"turnup/internal/obs"
+	"turnup/internal/serve"
+)
+
+// TestMetricsVocabularyAtBoot pins that the cache tiers' full counter and
+// gauge vocabulary is present on /metrics from the first scrape — CI's
+// serve-smoke greps these names without forcing a hit or eviction first.
+func TestMetricsVocabularyAtBoot(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(serve.New(serve.Options{Metrics: reg}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, name := range []string{
+		"serve_cache_hits_total 0", "serve_cache_misses_total 0",
+		"serve_cache_evictions_total 0", "serve_cache_rejected_total 0",
+		"serve_cache_bytes 0", "serve_cache_entries 0",
+		"serve_render_cache_hits_total 0", "serve_render_cache_misses_total 0",
+		"serve_render_cache_bytes 0", "serve_render_cache_entries 0",
+		"serve_http_304_total 0",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics at boot missing %q", name)
+		}
+	}
+}

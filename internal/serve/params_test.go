@@ -88,7 +88,7 @@ func TestCancelledBaseNeverLaunchesRun(t *testing.T) {
 	c := serve.NewCache(base, func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 		launched.Add(1)
 		return nil, nil
-	}, 8, 4, 0, obs.NewRegistry())
+	}, serve.CacheConfig{Capacity: 8, MaxRuns: 4}, obs.NewRegistry())
 
 	for i := 0; i < 200; i++ {
 		_, _, err := c.Get(context.Background(), serve.Params{Seed: uint64(i)}, nil)

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"sync"
+
+	"turnup/internal/obs"
+)
+
+// renderKey keys one rendered body: the canonical Params key (which folds
+// in the dataset generation, so an append invalidates by construction),
+// the requested section list in request order (order is semantic — Render
+// emits sections in the order asked), and the response format. The key is
+// what the ETag is derived from, so two requests that would serve the
+// same bytes revalidate against the same ETag.
+func renderKey(p Params, sections []string, format string) string {
+	return p.Key() + "|" + strings.Join(sections, ",") + "|" + format
+}
+
+// Rendered is one cached rendered body. Body is the exact bytes the
+// uncached path would write (the text report, or the JSON envelope's
+// report fragment — the envelope itself carries a per-request id and is
+// rebuilt around the fragment on every response). Gzip, when non-nil, is
+// the precompressed Body, so a hot hit for a gzip-accepting client is a
+// memcpy of already-compressed bytes. ETag is the fully formed header
+// value: a strong `"…"` when Body is byte-identical to the response body
+// (text), a weak `W/"…"` when the response embeds Body in a per-request
+// envelope (JSON). Entries are immutable once built — they are served
+// concurrently without copying.
+type Rendered struct {
+	Key    string
+	Params Params
+	Body   []byte
+	Gzip   []byte
+	ETag   string
+	size   int64
+}
+
+// buildRendered assembles an entry outside any lock: content hash → ETag,
+// and (for strong entries worth it) the precompressed gzip variant. The
+// ETag hashes the render key alongside the body, so equal bodies under
+// different parameters still get distinct validators. The gzip variant is
+// only kept when it actually shrinks the body; tiny or incompressible
+// bodies are served identity-only.
+func buildRendered(key string, p Params, body []byte, weak bool) *Rendered {
+	h := sha256.Sum256(append([]byte(key+"\x00"), body...))
+	etag := `"` + hex.EncodeToString(h[:16]) + `"`
+	if weak {
+		etag = "W/" + etag
+	}
+	e := &Rendered{Key: key, Params: p, Body: body, ETag: etag}
+	if !weak && len(body) >= 256 {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		_, _ = zw.Write(body)
+		if err := zw.Close(); err == nil && buf.Len() < len(body) {
+			e.Gzip = buf.Bytes()
+		}
+	}
+	e.size = int64(len(e.Body)+len(e.Gzip)+len(e.Key)+len(e.ETag)) + 96
+	return e
+}
+
+// RenderCache is the second cache tier: rendered bodies keyed by
+// (params, sections, format), byte-budgeted LRU like the result cache
+// but holding small []byte values instead of whole result suites — a hot
+// hit skips Render entirely. A nil *RenderCache is a valid disabled
+// cache: Get always misses and Put builds the entry without retaining it,
+// so the serving path needs no branches beyond the nil receiver.
+type RenderCache struct {
+	maxBytes int64
+	maxEntry int64 // admission bound: maxBytes/4, one body cannot flush the tier
+	reg      *obs.Registry
+
+	mu    sync.Mutex
+	bytes int64
+	order *list.List               // *Rendered, front = most recent
+	byKey map[string]*list.Element // render key → order element
+}
+
+// NewRenderCache builds a render cache with the given byte budget
+// (<=0 means 64 MiB).
+func NewRenderCache(maxBytes int64, reg *obs.Registry) *RenderCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	// Pre-register the tier's counters so /metrics carries them at 0 from
+	// boot rather than materialising them on first use.
+	for _, name := range []string{
+		"serve_render_cache_hits_total", "serve_render_cache_misses_total",
+		"serve_render_cache_evictions_total", "serve_render_cache_invalidations_total",
+		"serve_render_cache_rejected_total",
+	} {
+		reg.Counter(name)
+	}
+	rc := &RenderCache{
+		maxBytes: maxBytes,
+		maxEntry: maxBytes / 4,
+		reg:      reg,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+	rc.syncGauges()
+	return rc
+}
+
+// syncGauges mirrors the byte and entry accounting into the registry;
+// callers hold mu.
+func (rc *RenderCache) syncGauges() {
+	rc.reg.Gauge("serve_render_cache_bytes").Set(float64(rc.bytes))
+	rc.reg.Gauge("serve_render_cache_entries").Set(float64(rc.order.Len()))
+}
+
+// removeLocked drops el and credits its bytes back; callers hold mu.
+func (rc *RenderCache) removeLocked(el *list.Element) {
+	e := el.Value.(*Rendered)
+	delete(rc.byKey, e.Key)
+	rc.order.Remove(el)
+	rc.bytes -= e.size
+}
+
+// Get returns the cached rendered body for key, counting the outcome in
+// serve_render_cache_{hits,misses}_total.
+func (rc *RenderCache) Get(key string) (*Rendered, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	rc.mu.Lock()
+	el, ok := rc.byKey[key]
+	if ok {
+		rc.order.MoveToFront(el)
+	}
+	rc.mu.Unlock()
+	if !ok {
+		rc.reg.Counter("serve_render_cache_misses_total").Inc()
+		return nil, false
+	}
+	rc.reg.Counter("serve_render_cache_hits_total").Inc()
+	return el.Value.(*Rendered), true
+}
+
+// Put builds the entry for (key, p, body) and admits it, evicting from
+// the LRU back until the byte budget holds. Bodies larger than a quarter
+// of the budget are built but never retained
+// (serve_render_cache_rejected_total). The entry is returned either way,
+// so the caller serves this response from it regardless of admission.
+func (rc *RenderCache) Put(key string, p Params, body []byte, weak bool) *Rendered {
+	e := buildRendered(key, p, body, weak)
+	if rc == nil {
+		return e
+	}
+	if e.size > rc.maxEntry {
+		rc.reg.Counter("serve_render_cache_rejected_total").Inc()
+		return e
+	}
+	rc.mu.Lock()
+	if el, ok := rc.byKey[key]; ok {
+		// A racing miss already installed this key; keep the incumbent.
+		rc.order.MoveToFront(el)
+		rc.mu.Unlock()
+		return e
+	}
+	rc.byKey[key] = rc.order.PushFront(e)
+	rc.bytes += e.size
+	evicted := 0
+	for rc.bytes > rc.maxBytes {
+		rc.removeLocked(rc.order.Back())
+		evicted++
+	}
+	rc.syncGauges()
+	rc.mu.Unlock()
+	if evicted > 0 {
+		rc.reg.Counter("serve_render_cache_evictions_total").Add(int64(evicted))
+	}
+	return e
+}
+
+// EvictWhere drops every entry whose Params satisfy pred — the render
+// tier's half of the invalidation the result cache's EvictWhere performs,
+// driven by the same hooks (dataset drop, generation advance).
+func (rc *RenderCache) EvictWhere(pred func(Params) bool) int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	n := 0
+	for el := rc.order.Front(); el != nil; {
+		next := el.Next()
+		if pred(el.Value.(*Rendered).Params) {
+			rc.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	if n > 0 {
+		rc.syncGauges()
+	}
+	rc.mu.Unlock()
+	if n > 0 {
+		rc.reg.Counter("serve_render_cache_invalidations_total").Add(int64(n))
+	}
+	return n
+}
+
+// Bytes reports the byte accounting over retained entries.
+func (rc *RenderCache) Bytes() int64 {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytes
+}
+
+// Len reports the number of retained rendered bodies.
+func (rc *RenderCache) Len() int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.order.Len()
+}

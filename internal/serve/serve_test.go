@@ -107,11 +107,14 @@ func TestColdRunThenCacheHit(t *testing.T) {
 		t.Fatalf("pipeline ran %d times, want 1", n)
 	}
 	// The hit is observable on /metrics, as the acceptance criteria demand.
+	// The repeat request lands in the render tier (the rendered body was
+	// installed on the cold run), so the result cache records only the miss
+	// while the render cache records one miss then one hit.
 	code, _, metrics := get(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics code=%d", code)
 	}
-	for _, want := range []string{"serve_cache_hits_total 1", "serve_cache_misses_total 1", "serve_http_requests_total"} {
+	for _, want := range []string{"serve_render_cache_hits_total 1", "serve_render_cache_misses_total 1", "serve_cache_misses_total 1", "serve_http_requests_total"} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}
@@ -185,7 +188,11 @@ func TestLRUEviction(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Options{
 		CacheSize: 2,
-		Metrics:   reg,
+		// This test pins the result tier's LRU mechanics; the render tier
+		// would otherwise serve seed 1 from its cached body after the result
+		// eviction and hide the re-run.
+		RenderCacheBytes: -1,
+		Metrics:          reg,
 		Runner: func(ctx context.Context, p serve.Params, _ *serve.Snapshot) (*turnup.Results, error) {
 			mu.Lock()
 			runsBySeed[p.Seed]++

@@ -28,6 +28,18 @@ type Options struct {
 	// dataset-backed results exactly when an append lands; the TTL is an
 	// additional age bound for deployments that want one.
 	CacheTTL time.Duration
+	// MaxCacheBytes is the result cache's byte budget (default 1 GiB): each
+	// admitted result is sized once (Results.SizeBytes) and the LRU evicts
+	// by bytes, with CacheSize as a secondary count bound.
+	MaxCacheBytes int64
+	// CacheEntryFrac is the admission bound as a fraction of MaxCacheBytes
+	// (default 0.25): results estimated larger are served but never cached,
+	// so one giant result cannot flush the working set.
+	CacheEntryFrac float64
+	// RenderCacheBytes is the rendered-body cache's byte budget: 0 means
+	// the 64 MiB default, negative disables the tier (every response then
+	// re-renders, the pre-two-tier behaviour — the bench-cache baseline).
+	RenderCacheBytes int64
 
 	MaxScale     float64 // largest accepted ?scale= (default 1.0, the paper-sized corpus)
 	DefaultScale float64 // ?scale= default (default 0.05)
@@ -73,6 +85,7 @@ type Server struct {
 	opts       Options
 	reg        *obs.Registry
 	cache      *Cache
+	rcache     *RenderCache // nil when RenderCacheBytes < 0 (tier disabled)
 	datasets   *Store
 	mux        *http.ServeMux
 	modelStage map[string]bool // stage name → model tier (for 400s under models=false)
@@ -108,13 +121,23 @@ func New(opts Options) *Server {
 	if runner == nil {
 		runner = s.pipelineRunner(opts.Workers)
 	}
-	s.cache = NewCache(opts.BaseContext, runner, opts.CacheSize, opts.MaxRuns, opts.CacheTTL, opts.Metrics)
+	s.cache = NewCache(opts.BaseContext, runner, CacheConfig{
+		Capacity:     opts.CacheSize,
+		MaxBytes:     opts.MaxCacheBytes,
+		MaxEntryFrac: opts.CacheEntryFrac,
+		MaxRuns:      opts.MaxRuns,
+		TTL:          opts.CacheTTL,
+	}, opts.Metrics)
+	if opts.RenderCacheBytes >= 0 {
+		s.rcache = NewRenderCache(opts.RenderCacheBytes, opts.Metrics)
+	}
+	opts.Metrics.Counter("serve_http_304_total")
 	// When a dataset id leaves the store (DELETE or LRU eviction), purge
-	// its cached report results: a later re-upload under the same id
-	// restarts generations at 1, and surviving entries would alias the new
-	// content's (id, generation) cache keys.
+	// its cached report results — both tiers: a later re-upload under the
+	// same id restarts generations at 1, and surviving entries would alias
+	// the new content's (id, generation) cache keys.
 	s.datasets.OnDrop(func(id string) {
-		s.cache.EvictWhere(func(p Params) bool { return p.Dataset == id })
+		s.Invalidate(func(p Params) bool { return p.Dataset == id })
 	})
 	// The constant-1 build-info gauge is the Prometheus idiom for joining
 	// any other metric to the build that produced it.
@@ -185,6 +208,18 @@ func (s *Server) pipelineRunner(workers int) RunFunc {
 
 // Cache exposes the result cache (tests and the healthz entry count).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// RenderCache exposes the rendered-body cache; nil when the tier is
+// disabled (Options.RenderCacheBytes < 0).
+func (s *Server) RenderCache() *RenderCache { return s.rcache }
+
+// Invalidate drops matching entries from both cache tiers, returning the
+// total dropped. Every invalidation hook (dataset drop, generation
+// advance on append) goes through here so the tiers can never disagree:
+// a stale rendered body must not outlive the result it was rendered from.
+func (s *Server) Invalidate(pred func(Params) bool) int {
+	return s.cache.EvictWhere(pred) + s.rcache.EvictWhere(pred)
+}
 
 // Datasets exposes the dataset store (tests and the healthz entry count).
 func (s *Server) Datasets() *Store { return s.datasets }
@@ -264,8 +299,11 @@ type reportResponse struct {
 
 // handleReport serves GET /v1/report[/{section}]: parse and validate the
 // run parameters and section names (400 lists the valid vocabulary; an
-// unknown ?dataset= id 404s), get results through the cache, and render
-// as text or JSON. The {section} path element accepts a comma-separated
+// unknown ?dataset= id 404s), then serve through the two cache tiers —
+// a render-cache hit writes the cached bytes (or answers If-None-Match
+// with a zero-body 304) without touching the result cache; a miss gets
+// results through the result cache, renders once, and installs the body
+// for the next hit. The {section} path element accepts a comma-separated
 // list.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sections := splitList(r.PathValue("section"))
@@ -331,6 +369,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Dataset-Ledger", ledger)
 		w.Header().Set("X-Dataset-Generation", strconv.FormatUint(snap.Info.Generation, 10))
 	}
+	p = p.Canon()
+	format, isJSON := "text", wantJSON(r)
+	if isJSON {
+		format = "json"
+	}
+	rkey := renderKey(p, sections, format)
+	if e, ok := s.rcache.Get(rkey); ok {
+		w.Header().Set("X-Cache", string(StatusHit))
+		s.writeRendered(w, r, e, p, sections, StatusHit, ledger, isJSON)
+		return
+	}
 	res, status, err := s.cache.Get(r.Context(), p, snap)
 	if err != nil {
 		if errors.Is(err, ingest.ErrEmptyWindow) {
@@ -348,14 +397,62 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Cache", string(status))
-	if wantJSON(r) {
-		var b strings.Builder
-		_ = turnup.Render(&b, res, sections...) // names validated above; Builder writes cannot fail
-		writeJSON(w, http.StatusOK, reportResponse{Meta: s.meta(r), Params: p.Canon(), Sections: sections, Cache: status, Ledger: ledger, Report: b.String()})
+	body, _ := turnup.RenderString(res, sections...) // names validated above
+	e := s.rcache.Put(rkey, p, []byte(body), isJSON)
+	s.writeRendered(w, r, e, p, sections, status, ledger, isJSON)
+}
+
+// writeRendered serves one report response from a rendered entry — the
+// single exit for hits, misses, and the disabled-tier path, so headers
+// (ETag, Vary, X-Cache set by the caller, the dataset headers set during
+// snapshot pinning) are identical whichever path produced the bytes.
+// If-None-Match revalidation answers 304 with zero body before any
+// encoding work; text hits for gzip-accepting clients serve the entry's
+// precompressed bytes, and everything else compresses through the lazy
+// wrapper.
+func (s *Server) writeRendered(w http.ResponseWriter, r *http.Request, e *Rendered, p Params, sections []string, status Status, ledger string, isJSON bool) {
+	gw, flush := negotiateGzip(w, r)
+	defer flush()
+	h := w.Header()
+	h.Set("ETag", e.ETag)
+	if etagMatch(r.Header.Get("If-None-Match"), e.ETag) {
+		s.reg.Counter("serve_http_304_total").Inc()
+		gw.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = turnup.Render(w, res, sections...)
+	if isJSON {
+		writeJSON(gw, http.StatusOK, reportResponse{Meta: s.meta(r), Params: p, Sections: sections, Cache: status, Ledger: ledger, Report: string(e.Body)})
+		return
+	}
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	if e.Gzip != nil && acceptsGzip(r) {
+		// Precompressed hot path: setting Content-Encoding here flips the
+		// gzip wrapper into passthrough, so these bytes go out verbatim.
+		h.Set("Content-Encoding", "gzip")
+		h.Set("Content-Length", strconv.Itoa(len(e.Gzip)))
+		_, _ = gw.Write(e.Gzip)
+		return
+	}
+	_, _ = gw.Write(e.Body)
+}
+
+// etagMatch implements If-None-Match for GET: "*" matches anything, and
+// validators compare weakly (a W/ prefix on either side is ignored) —
+// the correct comparison for 304 revalidation per RFC 9110 §13.1.2.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(cand), "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // parseParams extracts and validates the run parameters from the query
@@ -430,12 +527,14 @@ type sectionsResponse struct {
 
 // handleSections serves the report-section vocabulary.
 func (s *Server) handleSections(w http.ResponseWriter, r *http.Request) {
+	gw, flush := negotiateGzip(w, r)
+	defer flush()
 	if wantJSON(r) {
-		writeJSON(w, http.StatusOK, sectionsResponse{Meta: s.meta(r), Sections: turnup.Sections()})
+		writeJSON(gw, http.StatusOK, sectionsResponse{Meta: s.meta(r), Sections: turnup.Sections()})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, strings.Join(turnup.Sections(), "\n"))
+	fmt.Fprintln(gw, strings.Join(turnup.Sections(), "\n"))
 }
 
 // stageJSON is one stage row of /v1/stages.
@@ -455,17 +554,19 @@ type stagesResponse struct {
 // handleStages serves the analysis stage DAG (name, deps, model tier).
 func (s *Server) handleStages(w http.ResponseWriter, r *http.Request) {
 	stages := turnup.Stages()
+	gw, flush := negotiateGzip(w, r)
+	defer flush()
 	if wantJSON(r) {
 		out := make([]stageJSON, len(stages))
 		for i, st := range stages {
 			out[i] = stageJSON{Name: st.Name, Deps: st.Deps, Model: st.Model}
 		}
-		writeJSON(w, http.StatusOK, stagesResponse{Meta: s.meta(r), Stages: out})
+		writeJSON(gw, http.StatusOK, stagesResponse{Meta: s.meta(r), Stages: out})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	for _, st := range stages {
-		fmt.Fprintf(w, "%s deps=%s model=%t\n", st.Name, strings.Join(st.Deps, ","), st.Model)
+		fmt.Fprintf(gw, "%s deps=%s model=%t\n", st.Name, strings.Join(st.Deps, ","), st.Model)
 	}
 }
 
@@ -476,6 +577,9 @@ type healthResponse struct {
 	Meta
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Cached        int     `json:"cached"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	Rendered      int     `json:"rendered"`
+	RenderedBytes int64   `json:"rendered_bytes"`
 	Datasets      int     `json:"datasets"`
 }
 
@@ -489,13 +593,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Meta:          s.meta(r),
 			UptimeSeconds: time.Since(s.start).Seconds(),
 			Cached:        s.cache.Len(),
+			CacheBytes:    s.cache.Bytes(),
+			Rendered:      s.rcache.Len(),
+			RenderedBytes: s.rcache.Bytes(),
 			Datasets:      s.datasets.Len(),
 		})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok version=%s uptime=%s cached=%d datasets=%d\n",
-		version.String(), time.Since(s.start).Round(time.Second), s.cache.Len(), s.datasets.Len())
+	fmt.Fprintf(w, "ok version=%s uptime=%s cached=%d cache_bytes=%d rendered=%d datasets=%d\n",
+		version.String(), time.Since(s.start).Round(time.Second), s.cache.Len(), s.cache.Bytes(), s.rcache.Len(), s.datasets.Len())
 }
 
 // RouteKey derives the consistent-hash routing token for a report

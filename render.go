@@ -205,3 +205,16 @@ func RenderAll(r *Results) string {
 	_ = Render(&b, r) // strings.Builder writes cannot fail
 	return b.String()
 }
+
+// RenderString renders the named sections (all of them when empty) into a
+// string — Render with the buffering done here, so callers that need the
+// bytes anyway (the serving tier's rendered-section cache, which stores
+// one rendered body per (params, sections, format) key) get them in one
+// call. An unknown section name is an error.
+func RenderString(r *Results, sections ...string) (string, error) {
+	var b strings.Builder
+	if err := Render(&b, r, sections...); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

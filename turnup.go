@@ -55,7 +55,10 @@ type Dataset = dataset.Dataset
 // Truth is the simulator's ground truth (never consumed by the analyses).
 type Truth = market.Truth
 
-// Results bundles every reproduced table and figure.
+// Results bundles every reproduced table and figure. SizeBytes estimates
+// a completed result's resident heap footprint (struct + reachable
+// slices/maps/strings) — the serving tier's byte-accounted result cache
+// computes it once at admission and evicts by bytes, not entry count.
 type Results = analysis.Suite
 
 // Index is the shared, lazily materialised view of one dataset that every
